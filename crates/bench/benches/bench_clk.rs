@@ -1,0 +1,38 @@
+//! Chained LK: cost of one chained iteration (kick + local
+//! re-optimization + accept/revert) and of a short full run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lk::{Budget, ChainedLk, ChainedLkConfig};
+use tsp_core::{generate, NeighborLists};
+
+fn bench_chain_step(c: &mut Criterion) {
+    let inst = generate::uniform(1000, 1_000_000.0, 11);
+    let nl = NeighborLists::build(&inst, 10);
+    c.bench_function("clk_chain_step_1k", |b| {
+        let mut engine = ChainedLk::new(&inst, &nl, ChainedLkConfig::default());
+        let mut tour = engine.construct_tour();
+        engine.optimize(&mut tour);
+        let mut len = tour.length(&inst);
+        b.iter(|| {
+            len = engine.chain_step(&mut tour, len);
+            black_box(len)
+        })
+    });
+}
+
+fn bench_short_run(c: &mut Criterion) {
+    let inst = generate::uniform(500, 1_000_000.0, 12);
+    let nl = NeighborLists::build(&inst, 10);
+    let mut g = c.benchmark_group("clk_run");
+    g.sample_size(10);
+    g.bench_function("500c_50kicks", |b| {
+        b.iter(|| {
+            let mut engine = ChainedLk::new(&inst, &nl, ChainedLkConfig::default());
+            black_box(engine.run(&Budget::kicks(50)).length)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_step, bench_short_run);
+criterion_main!(benches);

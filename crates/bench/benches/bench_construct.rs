@@ -1,0 +1,30 @@
+//! Construction heuristics (the paper's §2.1 Quick-Borůvka vs. the
+//! alternatives).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lk::construct;
+use tsp_core::generate;
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct");
+    g.sample_size(20);
+    for n in [500usize, 2000] {
+        let inst = generate::uniform(n, 1_000_000.0, 7);
+        g.bench_with_input(BenchmarkId::new("quick_boruvka", n), &inst, |b, inst| {
+            b.iter(|| construct::quick_boruvka(black_box(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new("nearest_neighbor", n), &inst, |b, inst| {
+            b.iter(|| construct::nearest_neighbor(black_box(inst), 0))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
+            b.iter(|| construct::greedy_matching(black_box(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new("space_filling", n), &inst, |b, inst| {
+            b.iter(|| construct::space_filling(black_box(inst)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_constructions);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Held-Karp machinery: MST, 1-tree, subgradient ascent, α-lists.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use heldkarp::{alpha_candidate_lists, held_karp_bound, AscentConfig, OneTree};
+use tsp_core::generate;
+
+fn bench_heldkarp(c: &mut Criterion) {
+    let inst = generate::uniform(500, 1_000_000.0, 13);
+    let pi = vec![0i64; 500];
+    let mut g = c.benchmark_group("heldkarp_500");
+    g.sample_size(10);
+    g.bench_function("one_tree", |b| {
+        b.iter(|| black_box(OneTree::build(&inst, &pi, 0).shifted_len))
+    });
+    g.bench_function("ascent_50it", |b| {
+        let cfg = AscentConfig {
+            max_iterations: 50,
+            ..Default::default()
+        };
+        b.iter(|| black_box(held_karp_bound(&inst, &cfg).bound))
+    });
+    g.bench_function("alpha_lists_k6", |b| {
+        let cfg = AscentConfig {
+            max_iterations: 20,
+            ..Default::default()
+        };
+        b.iter(|| black_box(alpha_candidate_lists(&inst, 6, &cfg).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heldkarp);
+criterion_main!(benches);

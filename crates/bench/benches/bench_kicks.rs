@@ -1,0 +1,32 @@
+//! The four kicking strategies (§2.1): cost of selecting and applying
+//! one double-bridge kick.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lk::kick::{kick, KickStrategy};
+use rand::{rngs::SmallRng, SeedableRng};
+use tsp_core::{generate, NeighborLists, Tour};
+
+fn bench_kicks(c: &mut Criterion) {
+    let inst = generate::uniform(2000, 1_000_000.0, 10);
+    let nl = NeighborLists::build(&inst, 10);
+    let mut g = c.benchmark_group("kick_2k");
+    for strategy in KickStrategy::ALL {
+        g.bench_function(strategy.name(), |b| {
+            let mut tour = Tour::identity(2000);
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(kick(strategy, &mut tour, &nl, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_double_bridge(c: &mut Criterion) {
+    c.bench_function("random_double_bridge_2k", |b| {
+        let mut tour = Tour::identity(2000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| tour.random_double_bridge(&mut rng))
+    });
+}
+
+criterion_group!(benches, bench_kicks, bench_double_bridge);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Local-search passes: 2-opt, Or-opt, 3-opt and full LK from a
+//! construction tour.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lk::lin_kernighan::{lin_kernighan, LinKernighan, LkConfig};
+use lk::{construct, or_opt, three_opt, two_opt, Optimizer};
+use tsp_core::{generate, NeighborLists};
+
+fn bench_passes(c: &mut Criterion) {
+    let inst = generate::uniform(1000, 1_000_000.0, 9);
+    let nl = NeighborLists::build(&inst, 10);
+    let start = construct::quick_boruvka(&inst);
+
+    let mut g = c.benchmark_group("local_search_1k");
+    g.sample_size(10);
+    g.bench_function("two_opt", |b| {
+        b.iter(|| {
+            let mut tour = start.clone();
+            let mut opt = Optimizer::new(&inst, &nl);
+            black_box(two_opt::two_opt(&mut opt, &mut tour))
+        })
+    });
+    g.bench_function("or_opt", |b| {
+        b.iter(|| {
+            let mut tour = start.clone();
+            let mut opt = Optimizer::new(&inst, &nl);
+            black_box(or_opt::or_opt(&mut opt, &mut tour))
+        })
+    });
+    g.bench_function("three_opt", |b| {
+        b.iter(|| {
+            let mut tour = start.clone();
+            let mut opt = Optimizer::new(&inst, &nl);
+            black_box(three_opt::three_opt(&mut opt, &mut tour))
+        })
+    });
+    g.bench_function("lin_kernighan", |b| {
+        b.iter(|| {
+            let mut tour = start.clone();
+            let mut opt = Optimizer::new(&inst, &nl);
+            let mut lk = LinKernighan::new(LkConfig::default());
+            black_box(lin_kernighan(&mut lk, &mut opt, &mut tour))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

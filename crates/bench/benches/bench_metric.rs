@@ -1,0 +1,34 @@
+//! Distance-kernel microbenchmarks: the innermost loop of everything.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tsp_core::{generate, metric, Point};
+
+fn bench_metrics(c: &mut Criterion) {
+    let a = Point::new(123.4, 567.8);
+    let b = Point::new(9876.5, 4321.0);
+    let mut g = c.benchmark_group("metric");
+    g.bench_function("euc_2d", |bch| {
+        bch.iter(|| metric::euc_2d(black_box(a), black_box(b)))
+    });
+    g.bench_function("ceil_2d", |bch| {
+        bch.iter(|| metric::ceil_2d(black_box(a), black_box(b)))
+    });
+    g.bench_function("att", |bch| {
+        bch.iter(|| metric::att(black_box(a), black_box(b)))
+    });
+    g.bench_function("geo", |bch| {
+        bch.iter(|| metric::geo(black_box(a), black_box(b)))
+    });
+    g.finish();
+}
+
+fn bench_tour_length(c: &mut Criterion) {
+    let inst = generate::uniform(1000, 1_000_000.0, 1);
+    let tour = tsp_core::Tour::identity(1000);
+    c.bench_function("tour_length_1k", |b| {
+        b.iter(|| black_box(&tour).length(black_box(&inst)))
+    });
+}
+
+criterion_group!(benches, bench_metrics, bench_tour_length);
+criterion_main!(benches);

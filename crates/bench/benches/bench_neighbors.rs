@@ -1,0 +1,37 @@
+//! Candidate-list construction: uniform grid vs. k-d tree, uniform vs.
+//! clustered data (the degenerate case that motivates the tree).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsp_core::{generate, NeighborLists};
+
+fn bench_neighbor_lists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neighbors");
+    g.sample_size(10);
+    for (label, inst) in [
+        ("uniform2k", generate::uniform(2000, 1_000_000.0, 3)),
+        ("clustered2k", generate::clustered_dimacs(2000, 3)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("kdtree_k10", label), &inst, |b, inst| {
+            b.iter(|| NeighborLists::build(black_box(inst), 10))
+        });
+        g.bench_with_input(BenchmarkId::new("grid_k10", label), &inst, |b, inst| {
+            b.iter(|| NeighborLists::build_with_grid(black_box(inst), 10))
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn_query(c: &mut Criterion) {
+    let inst = generate::uniform(5000, 1_000_000.0, 4);
+    let tree = tsp_core::kdtree::KdTree::build(&inst);
+    c.bench_function("kdtree_knn10_query", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q = (q + 1) % 5000;
+            black_box(tree.k_nearest(q, 10))
+        })
+    });
+}
+
+criterion_group!(benches, bench_neighbor_lists, bench_knn_query);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Networking substrate: codec throughput and transport round-trips
+//! (the paper's claim that communication cost is negligible rests on
+//! these numbers).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use p2p::codec::{decode, encode};
+use p2p::memory::InMemoryNetwork;
+use p2p::{Message, Topology, Transport};
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = Message::TourFound {
+        from: 3,
+        length: 123_456_789,
+        order: (0..10_000).collect(),
+    };
+    let frame = encode(&msg);
+    let payload = frame.slice(4..);
+    let mut g = c.benchmark_group("codec_10k_tour");
+    g.bench_function("encode", |b| b.iter(|| black_box(encode(&msg))));
+    g.bench_function("decode", |b| b.iter(|| black_box(decode(&payload).unwrap())));
+    g.finish();
+}
+
+fn bench_memory_transport(c: &mut Criterion) {
+    c.bench_function("memory_broadcast_hypercube8", |b| {
+        let (mut eps, _) = InMemoryNetwork::build(8, Topology::Hypercube);
+        let msg = Message::TourFound {
+            from: 0,
+            length: 1,
+            order: (0..1000).collect(),
+        };
+        b.iter(|| {
+            eps[0].broadcast(msg.clone());
+            // Drain receivers so queues stay bounded.
+            for ep in eps.iter_mut().skip(1) {
+                while ep.try_recv().is_some() {}
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_memory_transport);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Tour representations: array reversal (O(n) per flip) vs. the
+//! two-level list (O(√n) per flip) — the crossover that motivates the
+//! two-level structure for the paper's largest instances.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use tsp_core::{Tour, TwoLevelList};
+
+fn bench_flips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_flip");
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("array", n), &n, |b, &n| {
+            let mut tour = Tour::identity(n);
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| {
+                let a = rng.gen_range(0..n);
+                let mut x = rng.gen_range(0..n);
+                while x == a {
+                    x = rng.gen_range(0..n);
+                }
+                tour.reverse_segment(tour.position(a), tour.position(x));
+                black_box(tour.next(a))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("two_level", n), &n, |b, &n| {
+            let mut tl = TwoLevelList::from_order_slice(&(0..n as u32).collect::<Vec<_>>());
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| {
+                let a = rng.gen_range(0..n);
+                let mut x = rng.gen_range(0..n);
+                while x == a {
+                    x = rng.gen_range(0..n);
+                }
+                tl.flip(a, x);
+                black_box(tl.next(a))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 100_000usize;
+    let tour = Tour::identity(n);
+    let tl = TwoLevelList::from_order_slice(&(0..n as u32).collect::<Vec<_>>());
+    let mut g = c.benchmark_group("queries_100k");
+    g.bench_function("array_next", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(tour.next(i))
+        })
+    });
+    g.bench_function("two_level_next", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(tl.next(i))
+        })
+    });
+    g.bench_function("array_between", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(tour.between(i, (i + 13) % n, (i + 29) % n))
+        })
+    });
+    g.bench_function("two_level_between", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            black_box(tl.between(i, (i + 13) % n, (i + 29) % n))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flips, bench_queries);
+criterion_main!(benches);

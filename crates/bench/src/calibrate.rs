@@ -1,0 +1,51 @@
+//! Machine calibration (the paper's §4.3 DIMACS normalization).
+//!
+//! The DIMACS challenge normalizes running times to a 500 MHz Alpha by
+//! timing a benchmark solver on reference instances. We do the same in
+//! miniature: a fixed, deterministic CLK workload is timed and the
+//! ratio against a recorded reference duration yields this machine's
+//! normalization factor. Reported times in Table 2 are multiplied by
+//! it, so numbers from different machines are comparable.
+
+use lk::{Budget, ChainedLk, ChainedLkConfig};
+use tsp_core::{generate, NeighborLists};
+
+/// Reference duration of [`calibration_workload`] on the machine the
+/// repository's EXPERIMENTS.md numbers were recorded on (seconds).
+pub const REFERENCE_SECONDS: f64 = 1.0;
+
+/// Run the fixed calibration workload; returns elapsed seconds.
+pub fn calibration_workload() -> f64 {
+    let inst = generate::uniform(1000, 1_000_000.0, 424242);
+    let nl = NeighborLists::build(&inst, 10);
+    let cfg = ChainedLkConfig {
+        seed: 424242,
+        ..Default::default()
+    };
+    let mut clk = ChainedLk::new(&inst, &nl, cfg);
+    let start = std::time::Instant::now();
+    let res = clk.run(&Budget::kicks(300));
+    let secs = start.elapsed().as_secs_f64();
+    // Consume the result so the optimizer cannot elide the work.
+    assert!(res.length > 0);
+    secs
+}
+
+/// The machine's normalization factor: multiply measured seconds by
+/// this to get reference-machine seconds (like the paper's 1.96–3.68
+/// Alpha factors).
+pub fn normalization_factor() -> f64 {
+    REFERENCE_SECONDS / calibration_workload().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_completes_and_factor_is_positive() {
+        let f = normalization_factor();
+        assert!(f > 0.0);
+        assert!(f.is_finite());
+    }
+}

@@ -1,0 +1,176 @@
+//! **Ablations** — the design choices §2.3/§4.2 call out:
+//!
+//! 1. the four run modes of §4.2: default (8 nodes + DBM), 1 node,
+//!    no-DBM, and both restrictions;
+//! 2. the network topology (hypercube vs. ring vs. complete vs. star);
+//! 3. the perturbation parameters `c_v` / `c_r`.
+
+use lk::KickStrategy;
+use p2p::Topology;
+
+use crate::experiments::common::{dist_config, mean, run_dist_many};
+use crate::report::Report;
+use crate::testbed::Scale;
+use tsp_core::generate;
+
+pub fn run(scale: &Scale) -> Report {
+    let mut report = Report::new("ablation", "Ablations: DBM, node count, topology, c_v/c_r");
+    let sized = |base: usize| ((base as f64 * scale.size_factor) as usize).max(256);
+    let inst = generate::uniform(sized(1000), 1_000_000.0, 12);
+    let kick = KickStrategy::RandomWalk(50);
+    let mut csv = Vec::new();
+
+    // 1. Run modes.
+    let mut rows = Vec::new();
+    for (label, nodes, use_dbm) in [
+        ("8 nodes + DBM (default)", scale.nodes, true),
+        ("1 node + DBM", 1usize, true),
+        ("8 nodes, no DBM", scale.nodes, false),
+        ("1 node, no DBM", 1usize, false),
+    ] {
+        let mut cfg = dist_config(scale, kick, nodes, 0);
+        cfg.use_dbm = use_dbm;
+        let runs = run_dist_many(&inst, &cfg, scale.runs, 0xB1, None);
+        let lens: Vec<f64> = runs.iter().map(|r| r.best_length as f64).collect();
+        let m = mean(&lens);
+        rows.push(vec![label.to_string(), format!("{m:.0}")]);
+        csv.push(format!("mode,{label},{m:.1}"));
+    }
+    report.para("Mean best length per run mode (lower is better):");
+    report.table(&["Mode", "Mean best length"], &rows);
+
+    // 2. Topologies.
+    let mut rows = Vec::new();
+    for topo in [
+        Topology::Hypercube,
+        Topology::Ring,
+        Topology::Complete,
+        Topology::Star,
+    ] {
+        let mut cfg = dist_config(scale, kick, scale.nodes, 0);
+        cfg.topology = topo;
+        let runs = run_dist_many(&inst, &cfg, scale.runs, 0xB2, None);
+        let lens: Vec<f64> = runs.iter().map(|r| r.best_length as f64).collect();
+        let msgs: Vec<f64> = runs.iter().map(|r| r.messages.0 as f64).collect();
+        rows.push(vec![
+            format!("{topo:?}"),
+            format!("{:.0}", mean(&lens)),
+            format!("{:.0}", mean(&msgs)),
+        ]);
+        csv.push(format!("topology,{topo:?},{:.1}", mean(&lens)));
+    }
+    report.para("Topology (8 nodes): quality vs. message volume:");
+    report.table(&["Topology", "Mean best length", "Mean messages"], &rows);
+
+    // 1b. Construction diversity extension: rotating constructions per
+    // node vs. everyone starting from the same deterministic QB tour.
+    {
+        let mut rows = Vec::new();
+        for diversify in [false, true] {
+            let mut cfg = dist_config(scale, kick, scale.nodes, 0);
+            cfg.diversify_construction = diversify;
+            let runs = run_dist_many(&inst, &cfg, scale.runs, 0xB6, None);
+            let lens: Vec<f64> = runs.iter().map(|r| r.best_length as f64).collect();
+            rows.push(vec![
+                if diversify { "rotating constructions" } else { "uniform Quick-Borůvka" }
+                    .to_string(),
+                format!("{:.0}", mean(&lens)),
+            ]);
+            csv.push(format!(
+                "diversity,{},{:.1}",
+                if diversify { "rotating" } else { "uniform" },
+                mean(&lens)
+            ));
+        }
+        report.para("Initial-tour diversity across nodes (extension):");
+        report.table(&["Construction policy", "Mean best length"], &rows);
+    }
+
+    // 2a. Epidemic forwarding extension: on sparse topologies,
+    // relaying received improvements should help (on the hypercube the
+    // diameter is 3 and it barely matters — the paper's design point).
+    {
+        let mut rows = Vec::new();
+        for (topo, fwd) in [
+            (Topology::Hypercube, false),
+            (Topology::Hypercube, true),
+            (Topology::Ring, false),
+            (Topology::Ring, true),
+        ] {
+            let mut cfg = dist_config(scale, kick, scale.nodes, 0);
+            cfg.topology = topo;
+            cfg.forward_received = fwd;
+            let runs = run_dist_many(&inst, &cfg, scale.runs, 0xB5, None);
+            let lens: Vec<f64> = runs.iter().map(|r| r.best_length as f64).collect();
+            rows.push(vec![
+                format!("{topo:?}{}", if fwd { " + forwarding" } else { "" }),
+                format!("{:.0}", mean(&lens)),
+            ]);
+            csv.push(format!(
+                "forwarding,{topo:?}{},{:.1}",
+                if fwd { "+fwd" } else { "" },
+                mean(&lens)
+            ));
+        }
+        report.para(
+            "Epidemic forwarding of received tours (extension beyond the paper's \
+             Fig. 1, which broadcasts only local improvements):",
+        );
+        report.table(&["Configuration", "Mean best length"], &rows);
+    }
+
+    // 2b. Network latency: inject one-way delays to test the paper's
+    // "communication cost is negligible" claim directly.
+    {
+        use distclk::driver::run_over_transports;
+        use p2p::delay::DelayedTransport;
+        use p2p::memory::InMemoryNetwork;
+        use tsp_core::NeighborLists;
+
+        let nl = NeighborLists::build(&inst, 10);
+        let mut rows = Vec::new();
+        for delay_ms in [0u64, 10, 100] {
+            let mut lens = Vec::new();
+            for run in 0..scale.runs {
+                let mut cfg = dist_config(scale, kick, scale.nodes, 0);
+                cfg.seed = 0xB4 + run as u64;
+                let (eps, _) = InMemoryNetwork::build(cfg.nodes, cfg.topology);
+                let wrapped: Vec<_> = eps
+                    .into_iter()
+                    .map(|e| {
+                        DelayedTransport::new(e, std::time::Duration::from_millis(delay_ms))
+                    })
+                    .collect();
+                let results = run_over_transports(&inst, &nl, &cfg, wrapped);
+                lens.push(results.iter().map(|r| r.best_length).min().unwrap() as f64);
+            }
+            rows.push(vec![format!("{delay_ms} ms"), format!("{:.0}", mean(&lens))]);
+            csv.push(format!("latency,{delay_ms}ms,{:.1}", mean(&lens)));
+        }
+        report.para(
+            "Injected one-way message latency (the paper argues communication cost is \
+             negligible; quality should be flat across delays):",
+        );
+        report.table(&["One-way delay", "Mean best length"], &rows);
+    }
+
+    // 3. c_v / c_r sweep.
+    let mut rows = Vec::new();
+    for (c_v, c_r) in [(16u32, 64u32), (64, 256), (256, 1024)] {
+        let mut cfg = dist_config(scale, kick, scale.nodes, 0);
+        cfg.c_v = c_v;
+        cfg.c_r = c_r;
+        let runs = run_dist_many(&inst, &cfg, scale.runs, 0xB3, None);
+        let lens: Vec<f64> = runs.iter().map(|r| r.best_length as f64).collect();
+        rows.push(vec![
+            format!("c_v={c_v}, c_r={c_r}"),
+            format!("{:.0}", mean(&lens)),
+        ]);
+        csv.push(format!("cvcr,{c_v}/{c_r},{:.1}", mean(&lens)));
+    }
+    report.para("Perturbation parameters (paper defaults c_v=64, c_r=256):");
+    report.table(&["Parameters", "Mean best length"], &rows);
+
+    report.series("ablation", "group,variant,mean_length", csv);
+    report
+}

@@ -1,0 +1,71 @@
+//! **Figure 3** — effect of parallelization: convergence of DistCLK
+//! with 8 nodes vs. 1 node vs. standalone ABCC-CLK, on the fl3795 and
+//! fi10639 stand-ins.
+//!
+//! Paper shape: the 8-node curve dominates the 1-node curve, which
+//! dominates plain CLK; on the drill instance only the distributed
+//! variants escape the plateau.
+
+use lk::KickStrategy;
+
+use crate::experiments::common::{dist_config, run_clk_many, run_dist_many};
+use crate::report::Report;
+use crate::testbed::Scale;
+use tsp_core::generate;
+
+pub fn run(scale: &Scale) -> Report {
+    let mut report = Report::new("figure3", "Figure 3: parallelization effect (CSV series)");
+    report.para(
+        "Per-configuration best-so-far series (seconds, kicks, length). The 8-node \
+         series uses the network-best trace; per-node time is the x-axis as in the \
+         paper.",
+    );
+
+    let sized = |base: usize| ((base as f64 * scale.size_factor) as usize).max(128);
+    let instances = [
+        ("fl3795", generate::drill_plate(sized(3795), 16)),
+        ("fi10639", generate::road_like(sized(2600), 18)),
+    ];
+    let kick = KickStrategy::RandomWalk(50);
+
+    let mut rows = Vec::new();
+    for (name, inst) in &instances {
+        let clk = run_clk_many(inst, kick, scale.clk_kicks, 1, 0x31, None).remove(0);
+        report.series(
+            format!("{name}_clk"),
+            "secs,kicks,length",
+            clk.trace
+                .points()
+                .iter()
+                .map(|&(s, k, l)| format!("{s},{k},{l}"))
+                .collect(),
+        );
+        rows.push(vec![
+            name.to_string(),
+            "ABCC-CLK".into(),
+            clk.length.to_string(),
+        ]);
+
+        for nodes in [1usize, scale.nodes] {
+            let cfg = dist_config(scale, kick, nodes, 0x32);
+            let dist = run_dist_many(inst, &cfg, 1, 0x32, None).remove(0);
+            report.series(
+                format!("{name}_dist{nodes}"),
+                "secs,kicks,length",
+                dist.network_trace
+                    .points()
+                    .iter()
+                    .map(|&(s, k, l)| format!("{s},{k},{l}"))
+                    .collect(),
+            );
+            rows.push(vec![
+                name.to_string(),
+                format!("DistCLK {nodes} node(s)"),
+                dist.best_length.to_string(),
+            ]);
+        }
+    }
+
+    report.table(&["Instance", "Configuration", "Final length"], &rows);
+    report
+}

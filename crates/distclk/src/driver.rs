@@ -1,0 +1,256 @@
+//! Drivers that schedule the node loop.
+
+use lk::Trace;
+use p2p::memory::{InMemoryNetwork, NetStats};
+use p2p::Transport;
+use tsp_core::{Instance, NeighborLists, Tour};
+
+use crate::node::{DistConfig, NodeDriver, NodeResult};
+
+/// Aggregate outcome of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Per-node results.
+    pub nodes: Vec<NodeResult>,
+    /// Best tour over the whole network.
+    pub best_tour: Tour,
+    /// Its length.
+    pub best_length: i64,
+    /// Network-best convergence trace (min over node traces).
+    pub network_trace: Trace,
+    /// `(messages, wire bytes, tour broadcasts)` for the §4 message
+    /// statistics.
+    pub messages: (u64, u64, u64),
+    /// Wall-clock duration of the whole run.
+    pub wall_seconds: f64,
+}
+
+impl DistResult {
+    fn assemble(inst: &Instance, mut nodes: Vec<NodeResult>, stats: &NetStats, secs: f64) -> Self {
+        nodes.sort_by_key(|n| n.id);
+        let best = nodes
+            .iter()
+            .min_by_key(|n| n.best_length)
+            .expect("at least one node");
+        let network_trace =
+            Trace::network_best(&nodes.iter().map(|n| n.trace.clone()).collect::<Vec<_>>());
+        let best_tour = best.best_tour.clone();
+        // Recompute on the instance: node results may carry lengths
+        // claimed by peers; the aggregate reports ground truth.
+        let best_length = best_tour.length(inst);
+        DistResult {
+            best_tour,
+            best_length,
+            network_trace,
+            messages: stats.snapshot(),
+            wall_seconds: secs,
+            nodes,
+        }
+    }
+
+    /// Total CPU time proxy: sum of per-node seconds (the paper's
+    /// "total CPU time summed over all CPU nodes" for speed-up factors).
+    pub fn total_node_seconds(&self) -> f64 {
+        self.nodes.iter().map(|n| n.seconds).sum()
+    }
+
+    /// Total broadcasts initiated (paper §4: "84.9 broadcasts per run").
+    pub fn total_broadcasts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.broadcasts).sum()
+    }
+}
+
+/// Run the distributed algorithm with one OS thread per node over an
+/// in-memory network — the wall-clock-faithful driver (the paper's
+/// cluster shape, minus the physical Ethernet; see DESIGN.md §3).
+pub fn run_threads(inst: &Instance, neighbors: &NeighborLists, cfg: &DistConfig) -> DistResult {
+    let start = std::time::Instant::now();
+    let (endpoints, stats) = InMemoryNetwork::build(cfg.nodes, cfg.topology);
+    let results: Vec<NodeResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|ep| {
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let node = NodeDriver::new(inst, neighbors, &cfg, ep);
+                    node.run_to_completion()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    });
+    DistResult::assemble(inst, results, &stats, start.elapsed().as_secs_f64())
+}
+
+/// Run the distributed algorithm in deterministic lockstep on the
+/// current thread: every round, each live node executes exactly one
+/// iteration; messages sent in round `r` are visible in round `r+1`
+/// (single channel hop). Budgets should be effort-based
+/// (`Budget::kicks`) for full determinism.
+///
+/// ```
+/// use tsp_core::{generate, NeighborLists};
+/// use distclk::{run_lockstep, DistConfig};
+/// use lk::Budget;
+///
+/// let inst = generate::uniform(100, 100_000.0, 3);
+/// let neighbors = NeighborLists::build(&inst, 8);
+/// let cfg = DistConfig {
+///     nodes: 4,
+///     budget: Budget::kicks(2),
+///     clk_kicks_per_call: 3,
+///     ..Default::default()
+/// };
+/// let result = run_lockstep(&inst, &neighbors, &cfg);
+/// assert_eq!(result.nodes.len(), 4);
+/// assert_eq!(result.best_tour.length(&inst), result.best_length);
+/// ```
+pub fn run_lockstep(inst: &Instance, neighbors: &NeighborLists, cfg: &DistConfig) -> DistResult {
+    let start = std::time::Instant::now();
+    let (endpoints, stats) = InMemoryNetwork::build(cfg.nodes, cfg.topology);
+    let mut drivers: Vec<Option<NodeDriver<'_, p2p::memory::MemoryEndpoint>>> = endpoints
+        .into_iter()
+        .map(|ep| Some(NodeDriver::new(inst, neighbors, cfg, ep)))
+        .collect();
+    let mut results: Vec<NodeResult> = Vec::with_capacity(cfg.nodes);
+    loop {
+        let mut any_live = false;
+        for slot in drivers.iter_mut() {
+            if let Some(node) = slot {
+                if node.step() {
+                    any_live = true;
+                } else {
+                    results.push(slot.take().expect("just matched Some").finish());
+                }
+            }
+        }
+        if !any_live {
+            break;
+        }
+    }
+    for slot in drivers.into_iter().flatten() {
+        results.push(slot.finish());
+    }
+    DistResult::assemble(inst, results, &stats, start.elapsed().as_secs_f64())
+}
+
+/// Run the distributed algorithm over pre-built transports (e.g. the
+/// TCP endpoints from [`p2p::hub::bootstrap_local`] or a real cluster).
+/// One thread per endpoint.
+pub fn run_over_transports<T: Transport + 'static>(
+    inst: &Instance,
+    neighbors: &NeighborLists,
+    cfg: &DistConfig,
+    transports: Vec<T>,
+) -> Vec<NodeResult> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = transports
+            .into_iter()
+            .map(|ep| {
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let node = NodeDriver::new(inst, neighbors, &cfg, ep);
+                    node.run_to_completion()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lk::Budget;
+    use tsp_core::generate;
+
+    fn small_cfg(nodes: usize, calls: u64, seed: u64) -> DistConfig {
+        DistConfig {
+            nodes,
+            budget: Budget::kicks(calls),
+            clk_kicks_per_call: 3,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn lockstep_is_deterministic() {
+        let inst = generate::uniform(80, 10_000.0, 301);
+        let nl = NeighborLists::build(&inst, 8);
+        let cfg = small_cfg(4, 4, 7);
+        let a = run_lockstep(&inst, &nl, &cfg);
+        let b = run_lockstep(&inst, &nl, &cfg);
+        assert_eq!(a.best_length, b.best_length);
+        assert_eq!(a.best_tour.order(), b.best_tour.order());
+        assert_eq!(a.total_broadcasts(), b.total_broadcasts());
+    }
+
+    #[test]
+    fn cooperation_spreads_improvements() {
+        let inst = generate::uniform(100, 10_000.0, 302);
+        let nl = NeighborLists::build(&inst, 8);
+        let cfg = small_cfg(8, 6, 3);
+        let res = run_lockstep(&inst, &nl, &cfg);
+        assert_eq!(res.nodes.len(), 8);
+        // Someone must have broadcast and someone must have received.
+        assert!(res.total_broadcasts() > 0);
+        let received: u64 = res.nodes.iter().map(|n| n.received).sum();
+        assert!(received > 0, "no tours were exchanged");
+        // Message stats flow through the shared counters.
+        assert!(res.messages.0 > 0 && res.messages.1 > 0);
+        assert!(res.best_tour.is_valid());
+    }
+
+    #[test]
+    fn threads_driver_produces_consistent_results() {
+        let inst = generate::uniform(80, 10_000.0, 303);
+        let nl = NeighborLists::build(&inst, 8);
+        let cfg = small_cfg(4, 3, 11);
+        let res = run_threads(&inst, &nl, &cfg);
+        assert_eq!(res.nodes.len(), 4);
+        assert_eq!(res.best_tour.length(&inst), res.best_length);
+        for n in &res.nodes {
+            assert!(n.clk_calls >= 3);
+        }
+        assert!(res.total_node_seconds() > 0.0);
+    }
+
+    #[test]
+    fn target_stops_whole_network() {
+        let inst = generate::grid_known_optimum(6, 6, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let mut cfg = small_cfg(4, 10_000, 5);
+        cfg.clk_kicks_per_call = 30;
+        cfg.budget = Budget::kicks(10_000).with_target(inst.known_optimum().unwrap());
+        let res = run_lockstep(&inst, &nl, &cfg);
+        assert_eq!(res.best_length, inst.known_optimum().unwrap());
+        // Termination propagated: no node burned the full budget.
+        for n in &res.nodes {
+            assert!(n.clk_calls < 10_000, "node {} ran to budget", n.id);
+        }
+    }
+
+    #[test]
+    fn more_nodes_never_hurt_best_quality_in_expectation() {
+        // Not a strict theorem, but with the same per-node effort an
+        // 8-node network should find a tour at least as good as a
+        // 1-node run almost always; use a fixed seed pair that holds.
+        let inst = generate::uniform(150, 10_000.0, 304);
+        let nl = NeighborLists::build(&inst, 8);
+        let one = run_lockstep(&inst, &nl, &small_cfg(1, 8, 9));
+        let eight = run_lockstep(&inst, &nl, &small_cfg(8, 8, 9));
+        assert!(
+            eight.best_length <= one.best_length,
+            "8 nodes {} worse than 1 node {}",
+            eight.best_length,
+            one.best_length
+        );
+    }
+}

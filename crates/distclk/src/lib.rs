@@ -1,0 +1,38 @@
+//! # distclk
+//!
+//! The distributed Chained Lin-Kernighan evolutionary algorithm of
+//! Fischer & Merz (IPPS 2005) — the paper's primary contribution.
+//!
+//! Every node runs the loop of the paper's Figure 1:
+//!
+//! ```text
+//! s_prev := INITIALTOUR; s_best := CLK(s_prev)
+//! while not TERMINATIONDETECTED:
+//!     s := CLK(PERTURBATE(s_best))
+//!     s_best := SELECTBESTTOUR(received ∪ {s} ∪ {s_prev})
+//!     if len(s_best) = len(s_prev): NumNoImprovements++
+//!     else if s_best = s: BROADCASTTONEIGHBORS(s_best)
+//!     s_prev := s_best
+//! ```
+//!
+//! with the adaptive perturbation of §2.3: `NumPerturbations =
+//! NumNoImprovements / c_v + 1` random double-bridge moves, and a full
+//! restart from a fresh construction once `NumNoImprovements > c_r`
+//! (defaults `c_v = 64`, `c_r = 256`).
+//!
+//! Two drivers schedule the node loop:
+//!
+//! - [`driver::run_threads`] — one OS thread per node over any
+//!   [`p2p::Transport`] (in-memory or TCP), wall-clock budgets; this is
+//!   the paper's deployment shape.
+//! - [`driver::run_lockstep`] — single-threaded round-based simulation
+//!   with deterministic message delivery, used by tests and the
+//!   effort-budgeted experiments.
+
+pub mod driver;
+pub mod node;
+pub mod perturb;
+
+pub use driver::{run_lockstep, run_threads, DistResult};
+pub use node::{DistConfig, NodeDriver, NodeEvent, NodeResult};
+pub use perturb::{PerturbAction, Perturbator};

@@ -1,0 +1,616 @@
+//! The per-node driver: the paper's Figure 1 loop over any transport.
+
+use lk::{Budget, ChainedLk, ChainedLkConfig, Stopwatch, Trace};
+use p2p::{Message, NodeId, Topology, Transport};
+use tsp_core::{Instance, NeighborLists, Tour};
+
+use crate::perturb::{PerturbAction, Perturbator};
+
+/// Configuration of a distributed run (shared by every node).
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of nodes (the paper uses 8).
+    pub nodes: usize,
+    /// Network topology (the paper uses the hypercube).
+    pub topology: Topology,
+    /// The underlying CLK engine configuration (kick strategy etc.).
+    /// Each node derives its own RNG seed from `seed` and its id.
+    pub clk: ChainedLkConfig,
+    /// Perturbation strength divisor `c_v` (paper default 64).
+    pub c_v: u32,
+    /// Restart threshold `c_r` (paper default 256).
+    pub c_r: u32,
+    /// Enable the variable-strength double-bridge perturbation (§2.3);
+    /// `false` reproduces the "without DBMs" ablation.
+    pub use_dbm: bool,
+    /// Internal kicks per CLK call (the engine's own chained
+    /// iterations; `linkern`'s default scales with n — ours is explicit
+    /// so effort budgets are exact).
+    pub clk_kicks_per_call: u64,
+    /// Diversity extension (off in the paper): node `i` constructs its
+    /// initial (and restart) tours with the `i % 4`-th construction
+    /// heuristic instead of everyone using Quick-Borůvka. All nodes
+    /// starting from the identical deterministic QB tour wastes the
+    /// early exchange rounds; rotating constructions seeds the network
+    /// with distinct local optima.
+    pub diversify_construction: bool,
+    /// Epidemic extension (off in the paper): re-forward a *received*
+    /// tour to the other neighbors when it improves this node's best.
+    /// The paper's Fig. 1 broadcasts only locally-found tours, which is
+    /// enough on a diameter-3 hypercube; on sparse topologies (ring)
+    /// forwarding spreads improvements network-wide in one round per
+    /// hop instead of one CLK call per hop.
+    pub forward_received: bool,
+    /// Per-node budget. `max_kicks` counts CLK *calls* here; the target
+    /// length doubles as the "known optimum" termination criterion.
+    pub budget: Budget,
+    /// Master seed; node `i` uses `seed * 1000003 + i`.
+    pub seed: u64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            nodes: 8,
+            topology: Topology::Hypercube,
+            clk: ChainedLkConfig::default(),
+            c_v: 64,
+            c_r: 256,
+            use_dbm: true,
+            clk_kicks_per_call: 20,
+            diversify_construction: false,
+            forward_received: false,
+            budget: Budget::kicks(50),
+            seed: 0,
+        }
+    }
+}
+
+/// Notable events logged by a node (drives the §4.2.1 variator case
+/// study and the message-statistics experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEvent {
+    /// A new best tour, found locally (`local == true`) or received.
+    Improved {
+        secs: f64,
+        length: i64,
+        local: bool,
+    },
+    /// The perturbation strength the next kick will use changed.
+    StrengthChanged { secs: f64, strength: u32 },
+    /// `c_r` exceeded: tour discarded, fresh construction.
+    Restart { secs: f64 },
+    /// The local engine hit the target (known-optimum) length.
+    FoundOptimum { secs: f64, length: i64 },
+    /// A peer announced the optimum; node terminated.
+    PeerFoundOptimum { secs: f64, from: NodeId },
+}
+
+/// Final state of one node after a run.
+#[derive(Debug, Clone)]
+pub struct NodeResult {
+    /// Node id (hypercube position).
+    pub id: NodeId,
+    /// Best tour seen by this node (local or received).
+    pub best_tour: Tour,
+    /// Its length.
+    pub best_length: i64,
+    /// CLK calls performed.
+    pub clk_calls: u64,
+    /// Tours broadcast by this node.
+    pub broadcasts: u64,
+    /// Tour messages received.
+    pub received: u64,
+    /// Wall time consumed.
+    pub seconds: f64,
+    /// Best-so-far trace (time axis = this node's clock).
+    pub trace: Trace,
+    /// Event log.
+    pub events: Vec<NodeEvent>,
+}
+
+/// One node of the distributed algorithm.
+pub struct NodeDriver<'a, T: Transport> {
+    id: NodeId,
+    engine: ChainedLk<'a>,
+    transport: T,
+    perturb: Perturbator,
+    budget: Budget,
+    clk_kicks_per_call: u64,
+    forward_received: bool,
+    watch: Stopwatch,
+
+    s_prev: Tour,
+    prev_len: i64,
+    best_tour: Tour,
+    best_len: i64,
+
+    clk_calls: u64,
+    broadcasts: u64,
+    received: u64,
+    last_strength: u32,
+    terminated: bool,
+
+    trace: Trace,
+    events: Vec<NodeEvent>,
+}
+
+impl<'a, T: Transport> NodeDriver<'a, T> {
+    /// Create a node and run the initial `s_best := CLK(INITIALTOUR)`
+    /// step (paper Fig. 1 preamble).
+    pub fn new(
+        inst: &'a Instance,
+        neighbors: &'a NeighborLists,
+        cfg: &DistConfig,
+        transport: T,
+    ) -> Self {
+        let id = transport.node_id();
+        let mut clk_cfg = cfg.clk.clone();
+        clk_cfg.seed = cfg.seed.wrapping_mul(1_000_003).wrapping_add(id as u64);
+        if cfg.diversify_construction {
+            use lk::construct::Construction;
+            clk_cfg.construction = [
+                Construction::QuickBoruvka,
+                Construction::NearestNeighbor,
+                Construction::Greedy,
+                Construction::SpaceFilling,
+            ][id % 4];
+        }
+        let mut engine = ChainedLk::new(inst, neighbors, clk_cfg);
+        let watch = Stopwatch::start();
+
+        let mut tour = engine.construct_tour();
+        engine.optimize(&mut tour);
+        let len = tour.length(inst);
+
+        let mut trace = Trace::new();
+        trace.record(watch.secs(), 0, len);
+        let mut events = Vec::new();
+        events.push(NodeEvent::Improved {
+            secs: watch.secs(),
+            length: len,
+            local: true,
+        });
+
+        NodeDriver {
+            id,
+            engine,
+            transport,
+            perturb: Perturbator::new(cfg.c_v, cfg.c_r, cfg.use_dbm),
+            budget: cfg.budget.clone(),
+            clk_kicks_per_call: cfg.clk_kicks_per_call,
+            forward_received: cfg.forward_received,
+            watch,
+            s_prev: tour.clone(),
+            prev_len: len,
+            best_tour: tour,
+            best_len: len,
+            clk_calls: 1,
+            broadcasts: 0,
+            received: 0,
+            last_strength: 1,
+            terminated: false,
+            trace,
+            events,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Best length so far.
+    pub fn best_length(&self) -> i64 {
+        self.best_len
+    }
+
+    /// Whether the node has decided to stop.
+    pub fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Whether the budget (or the target) stops further iterations.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget
+            .exhausted(self.watch.elapsed(), self.clk_calls, self.best_len)
+    }
+
+    /// One CLK call: full LK optimization plus the engine's internal
+    /// chained kicks.
+    fn clk_call(&mut self, tour: &mut Tour) -> i64 {
+        self.engine.optimize(tour);
+        let mut len = tour.length(self.engine.instance());
+        for _ in 0..self.clk_kicks_per_call {
+            if self.budget.target_met(len)
+                || self
+                    .budget
+                    .time_limit
+                    .is_some_and(|t| self.watch.elapsed() >= t)
+            {
+                break;
+            }
+            len = self.engine.chain_step(tour, len);
+        }
+        self.clk_calls += 1;
+        len
+    }
+
+    /// Run one iteration of the Fig. 1 loop. Returns `false` when the
+    /// node has terminated (budget, target, or peer notification).
+    pub fn step(&mut self) -> bool {
+        if self.terminated {
+            return false;
+        }
+        // Known-optimum reached already (possibly by the initial CLK in
+        // `new()`): announce before stopping.
+        if self.budget.target_met(self.best_len) {
+            self.announce_optimum();
+            return false;
+        }
+        if self.budget_exhausted() {
+            self.finishing_touches();
+            return false;
+        }
+
+        // s := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
+        let mut s = self.best_tour.clone();
+        match self.perturb.perturbate(&mut s, self.engine.rng_mut()) {
+            PerturbAction::Restart => {
+                self.events.push(NodeEvent::Restart {
+                    secs: self.watch.secs(),
+                });
+                s = self.engine.construct_tour();
+            }
+            PerturbAction::Kicked(_) => {}
+        }
+        let s_len = self.clk_call(&mut s);
+
+        // Merge in everything received meanwhile.
+        let mut best_received: Option<(i64, Vec<u32>, NodeId)> = None;
+        for msg in self.transport.drain() {
+            match msg {
+                Message::TourFound {
+                    from,
+                    length,
+                    order,
+                } => {
+                    self.received += 1;
+                    if best_received.as_ref().map_or(true, |(l, _, _)| length < *l) {
+                        best_received = Some((length, order, from));
+                    }
+                }
+                Message::OptimumFound { from, .. } => {
+                    self.events.push(NodeEvent::PeerFoundOptimum {
+                        secs: self.watch.secs(),
+                        from,
+                    });
+                    self.terminated = true;
+                }
+                Message::Leave { .. } => {}
+            }
+        }
+
+        // SELECTBESTTOUR(S_received ∪ {s} ∪ {s_prev}).
+        // Strictly-better wins; ties keep the earlier candidate
+        // (s_prev ≼ s ≼ received) so non-improvement is detected.
+        let mut best_so_far = self.prev_len;
+        let mut source = Source::Prev;
+        if s_len < best_so_far {
+            best_so_far = s_len;
+            source = Source::Local;
+        }
+        if let Some((len, _, _)) = &best_received {
+            if *len < best_so_far {
+                source = Source::Received;
+            }
+        }
+
+        match source {
+            Source::Prev => {
+                // LENGTH(s_best) = LENGTH(s_prev): no improvement.
+                self.perturb.record_no_improvement();
+                let strength = self.perturb.strength();
+                if strength != self.last_strength {
+                    self.last_strength = strength;
+                    self.events.push(NodeEvent::StrengthChanged {
+                        secs: self.watch.secs(),
+                        strength,
+                    });
+                }
+            }
+            Source::Local => {
+                self.perturb.record_improvement();
+                self.reset_strength_event();
+                self.best_tour = s;
+                self.best_len = s_len;
+                self.trace
+                    .record(self.watch.secs(), self.clk_calls, s_len);
+                self.events.push(NodeEvent::Improved {
+                    secs: self.watch.secs(),
+                    length: s_len,
+                    local: true,
+                });
+                // Only locally-produced bests are broadcast (Fig. 1);
+                // count only broadcasts that actually reached a peer.
+                let sent = self.transport.broadcast(Message::TourFound {
+                    from: self.id,
+                    length: s_len,
+                    order: self.best_tour.order().to_vec(),
+                });
+                if sent > 0 {
+                    self.broadcasts += 1;
+                }
+            }
+            Source::Received => {
+                let (len, order, from) = best_received.expect("source=Received implies Some");
+                self.perturb.record_improvement();
+                self.reset_strength_event();
+                self.best_tour = Tour::from_order(order);
+                self.best_len = len;
+                self.trace.record(self.watch.secs(), self.clk_calls, len);
+                self.events.push(NodeEvent::Improved {
+                    secs: self.watch.secs(),
+                    length: len,
+                    local: false,
+                });
+                if self.forward_received {
+                    // Epidemic forwarding: relay the improvement to every
+                    // neighbor except the one it came from.
+                    let order = self.best_tour.order().to_vec();
+                    let mut relayed = 0;
+                    for nb in self.transport.neighbors() {
+                        if nb != from
+                            && self
+                                .transport
+                                .send(
+                                    nb,
+                                    Message::TourFound {
+                                        from: self.id,
+                                        length: len,
+                                        order: order.clone(),
+                                    },
+                                )
+                                .is_ok()
+                        {
+                            relayed += 1;
+                        }
+                    }
+                    if relayed > 0 {
+                        self.broadcasts += 1;
+                    }
+                }
+            }
+        }
+
+        self.s_prev = self.best_tour.clone();
+        self.prev_len = self.best_len;
+
+        // Known-optimum termination (criterion 1): announce and stop.
+        if self.budget.target_met(self.best_len) {
+            self.announce_optimum();
+            return false;
+        }
+
+        if self.terminated || self.budget_exhausted() {
+            self.finishing_touches();
+            return false;
+        }
+        true
+    }
+
+    /// Broadcast the optimum-found notification and terminate.
+    fn announce_optimum(&mut self) {
+        self.events.push(NodeEvent::FoundOptimum {
+            secs: self.watch.secs(),
+            length: self.best_len,
+        });
+        self.transport.broadcast(Message::OptimumFound {
+            from: self.id,
+            length: self.best_len,
+        });
+        self.terminated = true;
+    }
+
+    fn reset_strength_event(&mut self) {
+        if self.last_strength != 1 {
+            self.last_strength = 1;
+            self.events.push(NodeEvent::StrengthChanged {
+                secs: self.watch.secs(),
+                strength: 1,
+            });
+        }
+    }
+
+    fn finishing_touches(&mut self) {
+        if !self.terminated {
+            self.terminated = true;
+            self.transport.leave();
+        }
+    }
+
+    /// Consume the driver, producing the node's result record.
+    pub fn finish(mut self) -> NodeResult {
+        self.finishing_touches();
+        NodeResult {
+            id: self.id,
+            best_length: self.best_len,
+            best_tour: self.best_tour,
+            clk_calls: self.clk_calls,
+            broadcasts: self.broadcasts,
+            received: self.received,
+            seconds: self.watch.secs(),
+            trace: self.trace,
+            events: self.events,
+        }
+    }
+
+    /// Run the loop to completion (used by the threaded driver).
+    pub fn run_to_completion(mut self) -> NodeResult {
+        while self.step() {}
+        self.finish()
+    }
+}
+
+enum Source {
+    Prev,
+    Local,
+    Received,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2p::memory::InMemoryNetwork;
+    use tsp_core::generate;
+
+    #[test]
+    fn single_node_improves_like_clk() {
+        let inst = generate::uniform(120, 10_000.0, 201);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(1, Topology::Hypercube);
+        let cfg = DistConfig {
+            nodes: 1,
+            budget: Budget::kicks(5),
+            clk_kicks_per_call: 5,
+            ..Default::default()
+        };
+        let node = NodeDriver::new(&inst, &nl, &cfg, eps.remove(0));
+        let res = node.run_to_completion();
+        assert!(res.best_tour.is_valid());
+        assert_eq!(res.best_tour.length(&inst), res.best_length);
+        assert!(res.clk_calls >= 5);
+        assert_eq!(res.broadcasts, 0, "no neighbors to broadcast to");
+    }
+
+    #[test]
+    fn received_better_tour_is_adopted_not_rebroadcast() {
+        let inst = generate::uniform(60, 10_000.0, 202);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(2, Topology::Ring);
+        let ep1 = eps.remove(1);
+        let mut ep0 = eps.remove(0);
+
+        let cfg = DistConfig {
+            nodes: 2,
+            topology: Topology::Ring,
+            budget: Budget::kicks(3),
+            clk_kicks_per_call: 0,
+            ..Default::default()
+        };
+        let mut node1 = NodeDriver::new(&inst, &nl, &cfg, ep1);
+        // Feed node 1 an impossibly good tour from "node 0".
+        use p2p::Transport as _;
+        ep0.send(
+            1,
+            Message::TourFound {
+                from: 0,
+                length: 1, // absurdly good; must be adopted
+                order: Tour::identity(60).order().to_vec(),
+            },
+        )
+        .unwrap();
+        node1.step();
+        assert_eq!(node1.best_length(), 1);
+        // It was received, not locally found: node 1 must not rebroadcast.
+        let res = node1.finish();
+        assert!(res
+            .events
+            .iter()
+            .any(|e| matches!(e, NodeEvent::Improved { local: false, .. })));
+        assert_eq!(res.broadcasts, 0);
+        assert!(ep0.try_recv().map_or(true, |m| matches!(m, Message::Leave { .. })));
+    }
+
+    #[test]
+    fn optimum_notification_terminates_peer() {
+        let inst = generate::uniform(60, 10_000.0, 203);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(2, Topology::Ring);
+        let ep1 = eps.remove(1);
+        let mut ep0 = eps.remove(0);
+        use p2p::Transport as _;
+
+        let cfg = DistConfig {
+            nodes: 2,
+            topology: Topology::Ring,
+            budget: Budget::kicks(1000),
+            clk_kicks_per_call: 0,
+            ..Default::default()
+        };
+        let mut node1 = NodeDriver::new(&inst, &nl, &cfg, ep1);
+        ep0.send(1, Message::OptimumFound { from: 0, length: 42 })
+            .unwrap();
+        // The step that drains the message must be the last.
+        let cont = node1.step();
+        assert!(!cont);
+        let res = node1.finish();
+        assert!(res
+            .events
+            .iter()
+            .any(|e| matches!(e, NodeEvent::PeerFoundOptimum { from: 0, .. })));
+    }
+
+    #[test]
+    fn finding_target_broadcasts_optimum() {
+        let inst = generate::grid_known_optimum(6, 6, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(2, Topology::Ring);
+        let ep1 = eps.remove(1);
+        let ep0 = eps.remove(0);
+        let mut ep1_keeper = ep1;
+
+        let cfg = DistConfig {
+            nodes: 2,
+            topology: Topology::Ring,
+            budget: Budget::kicks(4000).with_target(inst.known_optimum().unwrap()),
+            clk_kicks_per_call: 50,
+            seed: 5,
+            ..Default::default()
+        };
+        let node0 = NodeDriver::new(&inst, &nl, &cfg, ep0);
+        let res = node0.run_to_completion();
+        assert_eq!(res.best_length, inst.known_optimum().unwrap());
+        // Node 1's inbox must contain the OptimumFound announcement.
+        use p2p::Transport as _;
+        let msgs = ep1_keeper.drain();
+        assert!(
+            msgs.iter()
+                .any(|m| matches!(m, Message::OptimumFound { .. })),
+            "no optimum announcement in {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn no_improvement_grows_strength() {
+        // A tour that is already optimal cannot improve: strength must
+        // climb and eventually trigger a restart.
+        let inst = generate::grid_known_optimum(4, 4, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(1, Topology::Hypercube);
+        let cfg = DistConfig {
+            nodes: 1,
+            c_v: 2,
+            c_r: 6,
+            budget: Budget::kicks(30),
+            clk_kicks_per_call: 0,
+            ..Default::default()
+        };
+        let node = NodeDriver::new(&inst, &nl, &cfg, eps.remove(0));
+        let res = node.run_to_completion();
+        assert!(
+            res.events
+                .iter()
+                .any(|e| matches!(e, NodeEvent::StrengthChanged { strength, .. } if *strength > 1)),
+            "strength never grew: {:?}",
+            res.events
+        );
+        assert!(
+            res.events
+                .iter()
+                .any(|e| matches!(e, NodeEvent::Restart { .. })),
+            "no restart in {:?}",
+            res.events
+        );
+    }
+}

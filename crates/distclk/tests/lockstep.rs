@@ -1,0 +1,159 @@
+//! distclk integration tests: the deterministic lockstep driver as a
+//! test harness for the algorithm's cooperative semantics.
+
+use distclk::{run_lockstep, DistConfig, NodeEvent};
+use lk::{Budget, KickStrategy};
+use p2p::Topology;
+use tsp_core::{generate, NeighborLists};
+
+fn base_cfg(nodes: usize, calls: u64, seed: u64) -> DistConfig {
+    DistConfig {
+        nodes,
+        clk_kicks_per_call: 4,
+        budget: Budget::kicks(calls),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Tours received from peers are marked non-local in the event log and
+/// are never re-broadcast (Fig. 1's `else if s_best = s` guard) —
+/// verified over a full run by cross-checking message counts.
+#[test]
+fn broadcast_discipline() {
+    let inst = generate::uniform(150, 100_000.0, 21);
+    let nl = NeighborLists::build(&inst, 8);
+    let res = run_lockstep(&inst, &nl, &base_cfg(8, 8, 3));
+    // In a hypercube of 8 every node has 3 neighbors: total tour
+    // messages = 3 * broadcasts (minus sends to already-left nodes at
+    // the very end).
+    let (_, _, tour_msgs) = res.messages;
+    let broadcasts = res.total_broadcasts();
+    assert!(broadcasts > 0);
+    assert!(
+        tour_msgs <= broadcasts * 3,
+        "{tour_msgs} tour messages for {broadcasts} broadcasts"
+    );
+    assert!(
+        tour_msgs >= broadcasts, // at least one neighbor reachable
+        "{tour_msgs} tour messages for {broadcasts} broadcasts"
+    );
+    // Received improvements exist and are flagged non-local.
+    let any_received = res.nodes.iter().any(|n| {
+        n.events
+            .iter()
+            .any(|e| matches!(e, NodeEvent::Improved { local: false, .. }))
+    });
+    assert!(any_received, "nobody adopted a received tour");
+}
+
+/// Changing only the topology changes message flow but every topology
+/// still converges and reports truthfully.
+#[test]
+fn topologies_all_converge() {
+    let inst = generate::clustered_dimacs(150, 22);
+    let nl = NeighborLists::build(&inst, 8);
+    let mut lengths = Vec::new();
+    for topo in [
+        Topology::Hypercube,
+        Topology::Ring,
+        Topology::Complete,
+        Topology::Star,
+    ] {
+        let mut cfg = base_cfg(8, 6, 5);
+        cfg.topology = topo;
+        let res = run_lockstep(&inst, &nl, &cfg);
+        assert_eq!(res.best_tour.length(&inst), res.best_length, "{topo:?}");
+        lengths.push(res.best_length);
+    }
+    // All topologies land in the same quality ballpark (within 5%).
+    let (min, max) = (
+        *lengths.iter().min().unwrap(),
+        *lengths.iter().max().unwrap(),
+    );
+    assert!(
+        (max - min) as f64 <= 0.05 * min as f64,
+        "topology spread too wide: {lengths:?}"
+    );
+}
+
+/// The no-DBM ablation runs and the default variant is not worse on
+/// average (the paper's §4.2 finding, statistically).
+#[test]
+fn dbm_ablation_shape() {
+    let inst = generate::drill_plate(200, 23);
+    let nl = NeighborLists::build(&inst, 8);
+    let mut with_dbm = 0i64;
+    let mut without_dbm = 0i64;
+    for seed in 0..3u64 {
+        let mut cfg = base_cfg(4, 8, seed);
+        cfg.use_dbm = true;
+        with_dbm += run_lockstep(&inst, &nl, &cfg).best_length;
+        cfg.use_dbm = false;
+        without_dbm += run_lockstep(&inst, &nl, &cfg).best_length;
+    }
+    assert!(
+        with_dbm <= without_dbm,
+        "DBM variant {with_dbm} worse than no-DBM {without_dbm}"
+    );
+}
+
+/// The epidemic-forwarding extension relays received improvements on a
+/// ring: with forwarding, every node eventually holds the network-best
+/// tour even though only direct neighbors are wired.
+#[test]
+fn forwarding_spreads_on_ring() {
+    let inst = generate::uniform(150, 100_000.0, 26);
+    let nl = NeighborLists::build(&inst, 8);
+    let mut cfg = base_cfg(8, 12, 13);
+    cfg.topology = Topology::Ring;
+    cfg.forward_received = true;
+    let res = run_lockstep(&inst, &nl, &cfg);
+    // With forwarding, relayed tours mean total tour messages exceed
+    // what pure local broadcasts (2 neighbors each) could produce when
+    // any relay happened, and everyone converges near the best.
+    let spread = res
+        .nodes
+        .iter()
+        .filter(|n| n.best_length == res.best_length)
+        .count();
+    assert!(
+        spread >= 4,
+        "best tour only reached {spread}/8 ring nodes with forwarding"
+    );
+}
+
+/// Every kicking strategy works through the whole distributed stack.
+#[test]
+fn all_kicks_through_distributed_stack() {
+    let inst = generate::uniform(120, 100_000.0, 24);
+    let nl = NeighborLists::build(&inst, 8);
+    for strategy in KickStrategy::ALL {
+        let mut cfg = base_cfg(4, 4, 7);
+        cfg.clk.kick = strategy;
+        let res = run_lockstep(&inst, &nl, &cfg);
+        assert!(res.best_tour.is_valid(), "{strategy:?}");
+    }
+}
+
+/// Node results carry complete bookkeeping: traces are monotone, CLK
+/// call counts respect budgets, event logs start with the initial
+/// improvement.
+#[test]
+fn node_bookkeeping_complete() {
+    let inst = generate::uniform(100, 100_000.0, 25);
+    let nl = NeighborLists::build(&inst, 8);
+    let res = run_lockstep(&inst, &nl, &base_cfg(4, 5, 9));
+    for n in &res.nodes {
+        assert!(n.clk_calls >= 5);
+        let lens: Vec<i64> = n.trace.points().iter().map(|&(_, _, l)| l).collect();
+        for w in lens.windows(2) {
+            assert!(w[1] < w[0], "node {} trace not improving", n.id);
+        }
+        assert!(matches!(
+            n.events.first(),
+            Some(NodeEvent::Improved { local: true, .. })
+        ));
+        assert_eq!(n.best_tour.len(), 100);
+    }
+}

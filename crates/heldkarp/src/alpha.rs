@@ -1,0 +1,205 @@
+//! α-nearness candidate lists (Helsgaun, EJOR 2000).
+//!
+//! `α(i,j)` is the increase of the minimum 1-tree length when the edge
+//! `(i,j)` is required to be in the 1-tree. Edges with small α are
+//! likely to be in good tours — Helsgaun showed candidate lists sorted
+//! by α dominate plain nearest-neighbor lists for Lin-Kernighan moves.
+//! Our `lkh_lite` baseline (standing in for LKH in the paper's Table 2)
+//! consumes these lists.
+//!
+//! For `i, j` both different from the special node `s`:
+//! `α(i,j) = c(i,j) − β(i,j)` where `β(i,j)` is the costliest edge on
+//! the MST path between `i` and `j`. For edges at `s`:
+//! `α(s,j) = c(s,j) − c₂` with `c₂` the second-cheapest edge at `s`.
+//! All costs are the π-shifted costs from the ascent.
+
+use tsp_core::{Instance, NeighborLists};
+
+use crate::ascent::{held_karp_bound, AscentConfig};
+use crate::mst::shifted_dist;
+use crate::onetree::OneTree;
+
+/// Build α-nearness candidate lists of width `k`.
+///
+/// Runs a Held-Karp ascent first (with `cfg`), then computes α values
+/// from the best 1-tree in O(n²) time and O(n) memory per node.
+pub fn alpha_candidate_lists(inst: &Instance, k: usize, cfg: &AscentConfig) -> NeighborLists {
+    let res = held_karp_bound(inst, cfg);
+    alpha_lists_from_tree(inst, &res.pi, &res.one_tree, k)
+}
+
+/// α-candidate lists from an existing 1-tree and potentials.
+pub fn alpha_lists_from_tree(
+    inst: &Instance,
+    pi: &[i64],
+    tree: &OneTree,
+    k: usize,
+) -> NeighborLists {
+    let n = inst.len();
+    let k = k.min(n - 1);
+    let s = tree.special;
+
+    // Adjacency of the MST part (excluding the special node's edges).
+    let mut adj_heads = vec![u32::MAX; n];
+    // Each non-root, non-special vertex contributes one edge (v, parent).
+    let mut edge_to = Vec::with_capacity(2 * n);
+    let mut edge_next = Vec::with_capacity(2 * n);
+    let mut push_edge = |from: usize, to: usize, heads: &mut Vec<u32>| {
+        edge_to.push(to as u32);
+        edge_next.push(heads[from]);
+        heads[from] = (edge_to.len() - 1) as u32;
+    };
+    for v in 0..n {
+        if v == s {
+            continue;
+        }
+        let p = tree.parent[v] as usize;
+        if p != v && p != s {
+            push_edge(v, p, &mut adj_heads);
+            push_edge(p, v, &mut adj_heads);
+        }
+    }
+
+    // Cheapest and second-cheapest shifted edges at the special node.
+    let (mut c1, mut c2) = (i64::MAX, i64::MAX);
+    for v in 0..n {
+        if v == s {
+            continue;
+        }
+        let d = shifted_dist(inst, pi, s, v);
+        if d < c1 {
+            c2 = c1;
+            c1 = d;
+        } else if d < c2 {
+            c2 = d;
+        }
+    }
+
+    let mut flat = vec![0u32; n * k];
+    let mut beta = vec![0i64; n];
+    let mut stack: Vec<(u32, u32)> = Vec::with_capacity(n);
+    let mut cand: Vec<(i64, i64, u32)> = Vec::with_capacity(n);
+
+    for i in 0..n {
+        cand.clear();
+        if i == s {
+            // α(s,j) = c(s,j) − c₂ (forcing (s,j) evicts the pricier of
+            // the two attachment edges); 0 for the two tree edges.
+            for j in 0..n {
+                if j == s {
+                    continue;
+                }
+                let c = shifted_dist(inst, pi, s, j);
+                let a = (c - c2).max(0);
+                cand.push((a, c, j as u32));
+            }
+        } else {
+            // β(i, ·) over the MST via DFS from i; β to the special node
+            // handled separately below.
+            beta[i] = i64::MIN;
+            stack.clear();
+            stack.push((i as u32, u32::MAX));
+            while let Some((v, from)) = stack.pop() {
+                let mut e = adj_heads[v as usize];
+                while e != u32::MAX {
+                    let u = edge_to[e as usize];
+                    if u != from {
+                        let w = shifted_dist(inst, pi, v as usize, u as usize);
+                        beta[u as usize] = if v as usize == i { w } else { beta[v as usize].max(w) };
+                        stack.push((u, v));
+                    }
+                    e = edge_next[e as usize];
+                }
+            }
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let c = shifted_dist(inst, pi, i, j);
+                let a = if j == s {
+                    (c - c2).max(0)
+                } else {
+                    (c - beta[j]).max(0)
+                };
+                cand.push((a, c, j as u32));
+            }
+        }
+        // k smallest by (α, shifted cost, index).
+        cand.sort_unstable();
+        for (slot, &(_, _, j)) in cand.iter().take(k).enumerate() {
+            flat[i * k + slot] = j;
+        }
+    }
+
+    NeighborLists::from_flat(k, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::generate;
+
+    #[test]
+    fn tree_edges_have_alpha_zero_and_come_first() {
+        let inst = generate::uniform(40, 10_000.0, 3);
+        let cfg = AscentConfig {
+            max_iterations: 30,
+            ..Default::default()
+        };
+        let res = held_karp_bound(&inst, &cfg);
+        let nl = alpha_lists_from_tree(&inst, &res.pi, &res.one_tree, 8);
+        // Every 1-tree edge endpoint should list its tree partner among
+        // the candidates (α = 0 ranks first or near-first).
+        for (a, b) in res.one_tree.edges() {
+            assert!(
+                nl.of(a).contains(&(b as u32)) || nl.of(b).contains(&(a as u32)),
+                "tree edge ({a},{b}) missing from both candidate lists"
+            );
+        }
+    }
+
+    #[test]
+    fn lists_have_requested_width() {
+        let inst = generate::uniform(30, 10_000.0, 4);
+        let nl = alpha_candidate_lists(
+            &inst,
+            5,
+            &AscentConfig {
+                max_iterations: 20,
+                ..Default::default()
+            },
+        );
+        assert_eq!(nl.k(), 5);
+        assert_eq!(nl.len(), 30);
+        for c in 0..30 {
+            assert!(!nl.of(c).contains(&(c as u32)));
+        }
+    }
+
+    #[test]
+    fn alpha_prefers_short_structural_edges() {
+        // Two clusters joined by a bridge: α-lists inside a cluster must
+        // stay inside the cluster except for the bridge endpoints.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(tsp_core::Point::new(i as f64 * 10.0, 0.0));
+        }
+        for i in 0..10 {
+            pts.push(tsp_core::Point::new(5_000.0 + i as f64 * 10.0, 0.0));
+        }
+        let inst = tsp_core::Instance::new("bridge", pts, tsp_core::Metric::Euc2d);
+        let nl = alpha_candidate_lists(
+            &inst,
+            3,
+            &AscentConfig {
+                max_iterations: 30,
+                ..Default::default()
+            },
+        );
+        // City 3 (interior of cluster 0) should only have cluster-0
+        // candidates.
+        for &c in nl.of(3) {
+            assert!((c as usize) < 10, "interior city candidate crossed the bridge");
+        }
+    }
+}

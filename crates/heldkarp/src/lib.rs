@@ -1,0 +1,30 @@
+//! # heldkarp
+//!
+//! Held-Karp 1-tree lower bound for symmetric TSP instances, plus the
+//! α-nearness candidate lists derived from it (Helsgaun's LKH uses these
+//! to steer its 5-opt search; our `lkh_lite` baseline does the same).
+//!
+//! The paper reports tour qualities relative to the optimum *or the
+//! Held-Karp lower bound* for instances whose optimum is unknown
+//! (fi10639, pla33810, pla85900) — this crate provides that reference
+//! value for our synthetic stand-ins.
+//!
+//! ## Pieces
+//!
+//! - [`mst`] — Prim's algorithm over the (π-shifted) complete graph.
+//! - [`onetree`] — minimum 1-trees: an MST over `V \ {special}` plus the
+//!   two cheapest edges incident to the special node.
+//! - [`ascent`] — subgradient ascent on the Lagrangian dual: maximizes
+//!   `w(π) = len(T_π) − 2·Σπ` over node potentials π.
+//! - [`alpha`] — α-nearness: `α(i,j)` is the 1-tree length increase when
+//!   edge `(i,j)` is forced into the tree; candidate lists sorted by α
+//!   are markedly better than plain nearest neighbors for LK moves.
+
+pub mod alpha;
+pub mod ascent;
+pub mod mst;
+pub mod onetree;
+
+pub use alpha::alpha_candidate_lists;
+pub use ascent::{held_karp_bound, AscentConfig, AscentResult};
+pub use onetree::OneTree;

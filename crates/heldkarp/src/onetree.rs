@@ -1,0 +1,171 @@
+//! Minimum 1-trees.
+//!
+//! A *1-tree* rooted at a special node `s` is a spanning tree over
+//! `V \ {s}` plus the two cheapest edges incident to `s`. Every tour is
+//! a 1-tree, so the minimum 1-tree length is a lower bound on the
+//! optimal tour; Held & Karp sharpen it with node potentials (see
+//! [`crate::ascent`]).
+
+use tsp_core::Instance;
+
+use crate::mst::{prim, shifted_dist};
+
+/// A minimum 1-tree under shifted costs.
+#[derive(Debug, Clone)]
+pub struct OneTree {
+    /// Special node (excluded from the MST, reattached by its two
+    /// cheapest edges).
+    pub special: usize,
+    /// MST parent array over `V \ {special}` (parent[special] is one of
+    /// its two attachment points).
+    pub parent: Vec<u32>,
+    /// The second attachment edge endpoint of the special node.
+    pub second: usize,
+    /// Degree of every node in the 1-tree.
+    pub degree: Vec<u32>,
+    /// Total 1-tree length under shifted costs.
+    pub shifted_len: i64,
+}
+
+impl OneTree {
+    /// Build the minimum 1-tree with special node `special` under the
+    /// potentials `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has fewer than 3 cities.
+    pub fn build(inst: &Instance, pi: &[i64], special: usize) -> OneTree {
+        let n = inst.len();
+        assert!(n >= 3);
+        let verts: Vec<u32> = (0..n as u32).filter(|&v| v as usize != special).collect();
+        let mst = prim(inst, pi, &verts);
+        // Two cheapest edges from `special`.
+        let (mut b1, mut b2) = (usize::MAX, usize::MAX);
+        let (mut d1, mut d2) = (i64::MAX, i64::MAX);
+        for v in 0..n {
+            if v == special {
+                continue;
+            }
+            let d = shifted_dist(inst, pi, special, v);
+            if d < d1 {
+                d2 = d1;
+                b2 = b1;
+                d1 = d;
+                b1 = v;
+            } else if d < d2 {
+                d2 = d;
+                b2 = v;
+            }
+        }
+        let mut parent = mst.parent;
+        parent[special] = b1 as u32;
+        let mut degree = vec![0u32; n];
+        for v in 0..n {
+            if v == special || v == mst.root {
+                continue;
+            }
+            degree[v] += 1;
+            degree[parent[v] as usize] += 1;
+        }
+        degree[special] += 2;
+        degree[b1] += 1;
+        degree[b2] += 1;
+        OneTree {
+            special,
+            parent,
+            second: b2,
+            degree,
+            shifted_len: mst.shifted_len + d1 + d2,
+        }
+    }
+
+    /// The Held-Karp dual value `w(π) = len(T_π) − 2·Σπ` for the
+    /// potentials this tree was built with.
+    pub fn dual_value(&self, pi: &[i64]) -> i64 {
+        self.shifted_len - 2 * pi.iter().sum::<i64>()
+    }
+
+    /// Whether every node has degree 2 — i.e. the 1-tree *is* a tour
+    /// (the ascent can stop: the bound is tight).
+    pub fn is_tour(&self) -> bool {
+        self.degree.iter().all(|&d| d == 2)
+    }
+
+    /// All 1-tree edges `(v, parent[v])` for non-root vertices plus the
+    /// special node's two edges.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let n = self.parent.len();
+        let mut out = Vec::with_capacity(n);
+        // Find the MST root: the non-special vertex whose parent is itself.
+        for v in 0..n {
+            if v == self.special {
+                continue;
+            }
+            let p = self.parent[v] as usize;
+            if p != v {
+                out.push((v, p));
+            }
+        }
+        out.push((self.special, self.parent[self.special] as usize));
+        out.push((self.special, self.second));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::generate;
+
+    #[test]
+    fn one_tree_has_n_edges_and_degree_sum() {
+        let inst = generate::uniform(30, 1000.0, 3);
+        let pi = vec![0i64; 30];
+        let t = OneTree::build(&inst, &pi, 0);
+        let edges = t.edges();
+        assert_eq!(edges.len(), 30); // n-2 MST edges + 2 special edges = n
+        assert_eq!(t.degree.iter().sum::<u32>(), 60);
+        assert_eq!(t.degree[0], 2);
+    }
+
+    #[test]
+    fn one_tree_is_lower_bound() {
+        let inst = generate::uniform(40, 1000.0, 7);
+        let pi = vec![0i64; 40];
+        let t = OneTree::build(&inst, &pi, 0);
+        // Any tour is a 1-tree, so min 1-tree <= any tour length.
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let tour = tsp_core::Tour::random(40, &mut rng);
+            assert!(t.shifted_len <= tour.length(&inst));
+        }
+    }
+
+    #[test]
+    fn dual_value_accounts_for_potentials() {
+        let inst = generate::uniform(20, 1000.0, 9);
+        let pi = vec![5i64; 20];
+        let t = OneTree::build(&inst, &pi, 0);
+        // Shifted length counts each node's pi once per incident edge
+        // (sum deg * pi = 2 sum pi when tree is degree-2 everywhere); the
+        // dual subtracts 2 sum pi, so for uniform pi the dual equals the
+        // unshifted 1-tree length plus (sum_v (deg_v - 2) * pi_v) = same
+        // uniform value only when degrees are all 2. Just pin the formula.
+        assert_eq!(t.dual_value(&pi), t.shifted_len - 2 * 5 * 20);
+    }
+
+    #[test]
+    fn tour_shaped_one_tree_detected() {
+        // Cities on a circle: the minimum 1-tree is the tour itself.
+        let pts: Vec<tsp_core::Point> = (0..12)
+            .map(|i| {
+                let a = i as f64 * std::f64::consts::TAU / 12.0;
+                tsp_core::Point::new(1000.0 * a.cos(), 1000.0 * a.sin())
+            })
+            .collect();
+        let inst = tsp_core::Instance::new("circle", pts, tsp_core::Metric::Euc2d);
+        let t = OneTree::build(&inst, &vec![0; 12], 0);
+        assert!(t.is_tour());
+    }
+}

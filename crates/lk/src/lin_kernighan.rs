@@ -1,0 +1,378 @@
+//! Variable-depth Lin-Kernighan search.
+//!
+//! ## Formulation
+//!
+//! We use the classic Hamiltonian-path view (Lin & Kernighan 1973;
+//! Johnson & McGeoch's implementation notes): after removing the edge
+//! `(t1, t2)` the tour becomes a path anchored at `t1` with moving
+//! endpoint `last`. Each step adds `y_i = (last, c)` to a candidate `c`
+//! and removes the (forced) edge `x_{i+1} = (c, v)` where `v` is `c`'s
+//! path-neighbor on the `last` side; `v` becomes the new endpoint.
+//!
+//! ## Representation trick
+//!
+//! Instead of representing the open path, we always keep the *closed*
+//! tour `path + (last, t1)`. One LK step then equals one 2-opt move:
+//! remove `{(c, v), (last, t1)}`, add `{(last, c), (v, t1)}` — applied
+//! with [`two_opt_by_edges`], which derives orientation from the tour
+//! itself and is therefore immune to the orientation flips of
+//! shorter-side segment reversal. At any depth the current tour is a
+//! *valid* tour, so "closing up" is free, and backtracking is the
+//! inverse 2-opt move.
+//!
+//! The search keeps the LK positive-gain criterion
+//! `G_i = Σ d(x_j) − Σ d(y_j) > 0`, a tabu list of added/removed edges
+//! (edges once added are never removed and vice versa), breadth limits
+//! per level with backtracking on the first levels, and commits to the
+//! most improving prefix of the chain.
+
+use tsp_core::Tour;
+
+use crate::search::{two_opt_by_edges, Optimizer};
+
+/// Tuning parameters for the LK search.
+#[derive(Debug, Clone)]
+pub struct LkConfig {
+    /// Maximum chain depth (number of sequential edge exchanges).
+    pub max_depth: usize,
+    /// Breadth (candidates tried with backtracking) per level; levels
+    /// beyond the vector use 1 (greedy).
+    pub breadth: Vec<usize>,
+}
+
+impl Default for LkConfig {
+    fn default() -> Self {
+        LkConfig {
+            max_depth: 50,
+            breadth: vec![5, 3, 2],
+        }
+    }
+}
+
+impl LkConfig {
+    /// Restricted configuration equivalent to a sequential 3-opt
+    /// (chains of length ≤ 2).
+    pub fn three_opt() -> Self {
+        LkConfig {
+            max_depth: 2,
+            breadth: vec![8, 8],
+        }
+    }
+
+    #[inline]
+    fn breadth_at(&self, depth: usize) -> usize {
+        self.breadth.get(depth - 1).copied().unwrap_or(1).max(1)
+    }
+}
+
+/// Reusable scratch state for one LK chain.
+struct Chain {
+    /// Edges added so far (normalized `(min,max)`), never to be removed.
+    added: Vec<(u32, u32)>,
+    /// Edges removed so far, never to be re-added.
+    removed: Vec<(u32, u32)>,
+    /// Undo log: the 2-opt step `(c, v, last)` applied at each depth
+    /// (undone by removing the edges it added).
+    undo: Vec<(usize, usize, usize)>,
+    /// Cities touched by the committed chain (for DLB re-activation).
+    touched: Vec<u32>,
+}
+
+impl Chain {
+    fn new() -> Self {
+        Chain {
+            added: Vec::with_capacity(64),
+            removed: Vec::with_capacity(64),
+            undo: Vec::with_capacity(64),
+            touched: Vec::with_capacity(64),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.added.clear();
+        self.removed.clear();
+        self.undo.clear();
+        self.touched.clear();
+    }
+}
+
+#[inline]
+fn norm(a: usize, b: usize) -> (u32, u32) {
+    if a < b {
+        (a as u32, b as u32)
+    } else {
+        (b as u32, a as u32)
+    }
+}
+
+/// The Lin-Kernighan searcher. Owns its scratch buffers so repeated
+/// calls allocate nothing.
+pub struct LinKernighan {
+    cfg: LkConfig,
+    chain: Chain,
+}
+
+impl LinKernighan {
+    /// Create a searcher with the given configuration.
+    pub fn new(cfg: LkConfig) -> Self {
+        LinKernighan {
+            cfg,
+            chain: Chain::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LkConfig {
+        &self.cfg
+    }
+
+    /// Try to improve the tour starting from anchor `t1`.
+    ///
+    /// Returns the gain (> 0, tour already updated and the chain's
+    /// endpoint cities re-activated in `opt`) or 0 (tour unchanged).
+    pub fn improve_from(&mut self, opt: &mut Optimizer<'_>, tour: &mut Tour, t1: usize) -> i64 {
+        // Try both tour edges at t1 as the first removed edge.
+        for first_side in 0..2 {
+            let last0 = if first_side == 0 { tour.prev(t1) } else { tour.next(t1) };
+            self.chain.reset();
+            self.chain.removed.push(norm(t1, last0));
+            let g0 = opt.dist(t1, last0);
+            let gain = self.step(opt, tour, t1, last0, g0, 0, 1);
+            if gain > 0 {
+                // Re-activate everything the chain touched.
+                self.chain.touched.push(t1 as u32);
+                self.chain.touched.push(last0 as u32);
+                for i in 0..self.chain.touched.len() {
+                    opt.activate(self.chain.touched[i] as usize);
+                }
+                return gain;
+            }
+        }
+        0
+    }
+
+    /// Recursive LK step. `last` is the path endpoint, `g` the LK gain
+    /// `Σd(x) − Σd(y)` so far (always > 0 on entry), `l_delta` the tour
+    /// length change vs. the original tour (the improvement when
+    /// stopping here is `-l_delta`). Returns the committed improvement
+    /// (> 0, leaving the tour in the improved state) or 0 (tour restored
+    /// to its state at entry).
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &mut self,
+        opt: &mut Optimizer<'_>,
+        tour: &mut Tour,
+        t1: usize,
+        last: usize,
+        g: i64,
+        l_delta: i64,
+        depth: usize,
+    ) -> i64 {
+        let neighbors = opt.neighbors();
+        let breadth = self.cfg.breadth_at(depth);
+        let mut tried = 0usize;
+        // `fwd`: does the path run in the tour's forward direction?
+        // (last is one of t1's two tour neighbors; the path leaves t1 on
+        // the other side.)
+        let d_last_t1 = opt.dist(last, t1);
+
+        for ci in 0..neighbors.of(last).len() {
+            if tried >= breadth {
+                break;
+            }
+            let c = neighbors.of(last)[ci] as usize;
+            if c == t1 || c == last {
+                continue;
+            }
+            let d_last_c = opt.dist(last, c);
+            // Positive-gain pruning (candidates sorted by distance).
+            if d_last_c >= g {
+                break;
+            }
+            // Orientation is derived fresh: reverse_segment may have
+            // flipped the array direction at any earlier step.
+            let fwd = tour.prev(t1) == last;
+            debug_assert!(fwd || tour.next(t1) == last);
+            let v = if fwd { tour.next(c) } else { tour.prev(c) };
+            if v == t1 || v == last {
+                continue;
+            }
+            let e_add = norm(last, c);
+            let e_rem = norm(c, v);
+            if self.chain.removed.contains(&e_add) || self.chain.added.contains(&e_rem) {
+                continue;
+            }
+            // Already a tour edge? Adding (last, c) when it's the (c,v)
+            // edge itself is degenerate (v == last case caught above;
+            // tour adjacency of last and c makes the 2-opt a no-op).
+            if tour.has_edge(last, c) {
+                continue;
+            }
+
+            let new_g = g + opt.dist(c, v) - d_last_c;
+            let delta = d_last_c + opt.dist(v, t1) - opt.dist(c, v) - d_last_t1;
+            let new_l = l_delta + delta;
+
+            // Apply the step.
+            two_opt_by_edges(tour, (c, v), (last, t1));
+            debug_assert!(tour.has_edge(last, c) && tour.has_edge(v, t1));
+            self.chain.added.push(e_add);
+            self.chain.removed.push(e_rem);
+            self.chain.undo.push((c, v, last));
+            tried += 1;
+
+            // Recurse while the gain criterion holds.
+            if new_g > 0 && depth < self.cfg.max_depth {
+                let deeper = self.step(opt, tour, t1, v, new_g, new_l, depth + 1);
+                if deeper > 0 {
+                    self.chain.touched.push(c as u32);
+                    self.chain.touched.push(v as u32);
+                    self.chain.touched.push(last as u32);
+                    return deeper;
+                }
+            }
+            // No deeper commit: accept here if this prefix improves.
+            if new_l < 0 {
+                self.chain.touched.push(c as u32);
+                self.chain.touched.push(v as u32);
+                self.chain.touched.push(last as u32);
+                return -new_l;
+            }
+            // Backtrack: undo this step and forget its tabu entries.
+            two_opt_by_edges(tour, (last, c), (v, t1));
+            self.chain.added.pop();
+            self.chain.removed.pop();
+            self.chain.undo.pop();
+        }
+        0
+    }
+}
+
+/// Run LK to local optimality over the active queue: every active city
+/// is used as anchor until no anchor yields an improving chain.
+/// Returns the total gain.
+pub fn lk_pass(lk: &mut LinKernighan, opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+    let mut total = 0i64;
+    while let Some(t1) = opt.pop_active() {
+        let gain = lk.improve_from(opt, tour, t1);
+        if gain > 0 {
+            total += gain;
+        } else {
+            opt.set_dont_look(t1);
+        }
+    }
+    total
+}
+
+/// Convenience: full LK optimization from scratch.
+pub fn lin_kernighan(lk: &mut LinKernighan, opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+    opt.activate_all();
+    lk_pass(lk, opt, tour)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use tsp_core::{generate, NeighborLists};
+
+    fn optimize(inst: &tsp_core::Instance, tour: &mut Tour, k: usize) -> i64 {
+        let nl = NeighborLists::build(inst, k);
+        let mut opt = Optimizer::new(inst, &nl);
+        let mut lk = LinKernighan::new(LkConfig::default());
+        lin_kernighan(&mut lk, &mut opt, tour)
+    }
+
+    #[test]
+    fn length_bookkeeping_is_exact() {
+        let inst = generate::uniform(120, 10_000.0, 41);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut tour = Tour::random(120, &mut rng);
+        let before = tour.length(&inst);
+        let gain = optimize(&inst, &mut tour, 8);
+        assert!(tour.is_valid());
+        assert_eq!(tour.length(&inst), before - gain);
+    }
+
+    #[test]
+    fn beats_two_opt() {
+        let inst = generate::uniform(250, 10_000.0, 42);
+        let nl = NeighborLists::build(&inst, 10);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let start = Tour::random(250, &mut rng);
+
+        let mut t2 = start.clone();
+        let mut opt = Optimizer::new(&inst, &nl);
+        crate::two_opt::two_opt(&mut opt, &mut t2);
+
+        let mut tlk = start.clone();
+        let mut opt2 = Optimizer::new(&inst, &nl);
+        let mut lk = LinKernighan::new(LkConfig::default());
+        lin_kernighan(&mut lk, &mut opt2, &mut tlk);
+
+        assert!(
+            tlk.length(&inst) <= t2.length(&inst),
+            "LK {} worse than 2-opt {}",
+            tlk.length(&inst),
+            t2.length(&inst)
+        );
+    }
+
+    #[test]
+    fn finds_grid_optimum_from_good_start() {
+        let inst = generate::grid_known_optimum(6, 6, 100.0);
+        let mut tour = crate::construct::quick_boruvka(&inst);
+        optimize(&inst, &mut tour, 8);
+        // LK from a QB start should usually reach the optimum on a tiny
+        // grid; allow 2% slack to avoid flakiness.
+        let opt = inst.known_optimum().unwrap();
+        assert!(
+            tour.length(&inst) as f64 <= 1.02 * opt as f64,
+            "LK got {} vs optimum {}",
+            tour.length(&inst),
+            opt
+        );
+    }
+
+    #[test]
+    fn no_gain_at_local_optimum_second_pass() {
+        let inst = generate::uniform(100, 10_000.0, 44);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut tour = Tour::random(100, &mut rng);
+        let nl = NeighborLists::build(&inst, 8);
+        let mut opt = Optimizer::new(&inst, &nl);
+        let mut lk = LinKernighan::new(LkConfig::default());
+        lin_kernighan(&mut lk, &mut opt, &mut tour);
+        let len = tour.length(&inst);
+        let gain2 = lin_kernighan(&mut lk, &mut opt, &mut tour);
+        assert_eq!(gain2, 0);
+        assert_eq!(tour.length(&inst), len);
+    }
+
+    #[test]
+    fn three_opt_config_also_improves() {
+        let inst = generate::uniform(150, 10_000.0, 45);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut tour = Tour::random(150, &mut rng);
+        let before = tour.length(&inst);
+        let nl = NeighborLists::build(&inst, 8);
+        let mut opt = Optimizer::new(&inst, &nl);
+        let mut lk = LinKernighan::new(LkConfig::three_opt());
+        let gain = lin_kernighan(&mut lk, &mut opt, &mut tour);
+        assert!(gain > 0);
+        assert_eq!(tour.length(&inst), before - gain);
+    }
+
+    #[test]
+    fn deterministic_given_same_start() {
+        let inst = generate::uniform(80, 10_000.0, 46);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let start = Tour::random(80, &mut rng);
+        let mut a = start.clone();
+        let mut b = start.clone();
+        optimize(&inst, &mut a, 8);
+        optimize(&inst, &mut b, 8);
+        assert_eq!(a.length(&inst), b.length(&inst));
+        assert_eq!(a.order(), b.order());
+    }
+}

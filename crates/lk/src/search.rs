@@ -1,0 +1,200 @@
+//! Shared local-search context: don't-look bits, the active-city queue
+//! and the orientation-independent 2-opt primitive every search builds
+//! on.
+
+use tsp_core::{Instance, NeighborLists, Tour};
+
+/// Apply the unique non-identity 2-opt reconnection that removes the
+/// two undirected tour edges `e1` and `e2`.
+///
+/// Removing two edges from a cycle leaves two arcs; there is exactly one
+/// way to reconnect them into a different cycle (the "crossing" pair),
+/// so callers only name the removed edges. This helper derives the
+/// orientation from the current tour, which makes it immune to the
+/// orientation flips that [`Tour::reverse_segment`]'s shorter-side
+/// optimization can introduce.
+///
+/// # Panics
+///
+/// Debug-panics if either pair is not a current tour edge, or the edges
+/// share an endpoint.
+pub fn two_opt_by_edges(tour: &mut Tour, e1: (usize, usize), e2: (usize, usize)) {
+    let (a, b) = orient(tour, e1);
+    let (c, d) = orient(tour, e2);
+    debug_assert!(a != c && a != d && b != c && b != d, "edges must be disjoint");
+    // With b = next(a) and d = next(c), two_opt_move(a, c) removes
+    // (a,b), (c,d) and adds (a,c), (b,d).
+    tour.two_opt_move(a, c);
+}
+
+/// Orient an undirected tour edge so that `.1 == next(.0)`.
+#[inline]
+fn orient(tour: &Tour, (x, y): (usize, usize)) -> (usize, usize) {
+    if tour.next(x) == y {
+        (x, y)
+    } else {
+        debug_assert_eq!(tour.next(y), x, "({x},{y}) is not a tour edge");
+        (y, x)
+    }
+}
+
+/// Local-search context: the instance, candidate lists, don't-look bits
+/// and the active-city queue. All buffers are allocated once and reused
+/// across passes (nothing allocates on the hot path).
+pub struct Optimizer<'a> {
+    inst: &'a Instance,
+    neighbors: &'a NeighborLists,
+    /// Don't-look bits: `true` = city is quiescent.
+    dont_look: Vec<bool>,
+    /// FIFO of active cities (those whose neighborhood may contain an
+    /// improving move).
+    queue: std::collections::VecDeque<u32>,
+    in_queue: Vec<bool>,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Create a context; all cities start active.
+    pub fn new(inst: &'a Instance, neighbors: &'a NeighborLists) -> Self {
+        let n = inst.len();
+        Optimizer {
+            inst,
+            neighbors,
+            dont_look: vec![false; n],
+            queue: (0..n as u32).collect(),
+            in_queue: vec![true; n],
+        }
+    }
+
+    /// The instance being optimized.
+    #[inline]
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// The candidate lists steering the search.
+    #[inline]
+    pub fn neighbors(&self) -> &'a NeighborLists {
+        self.neighbors
+    }
+
+    /// Distance shorthand.
+    #[inline(always)]
+    pub fn dist(&self, i: usize, j: usize) -> i64 {
+        self.inst.dist(i, j)
+    }
+
+    /// Re-activate every city (used after a restart or a fresh tour).
+    pub fn activate_all(&mut self) {
+        self.queue.clear();
+        for c in 0..self.inst.len() as u32 {
+            self.queue.push_back(c);
+            self.in_queue[c as usize] = true;
+            self.dont_look[c as usize] = false;
+        }
+    }
+
+    /// Deactivate every city (used before seeding a targeted queue,
+    /// e.g. after a kick only the kicked cities are active).
+    pub fn deactivate_all(&mut self) {
+        self.queue.clear();
+        self.in_queue.iter_mut().for_each(|b| *b = false);
+        self.dont_look.iter_mut().for_each(|b| *b = true);
+    }
+
+    /// Mark a city active (idempotent).
+    #[inline]
+    pub fn activate(&mut self, c: usize) {
+        self.dont_look[c] = false;
+        if !self.in_queue[c] {
+            self.in_queue[c] = true;
+            self.queue.push_back(c as u32);
+        }
+    }
+
+    /// Pop the next active city, if any.
+    #[inline]
+    pub fn pop_active(&mut self) -> Option<usize> {
+        while let Some(c) = self.queue.pop_front() {
+            let c = c as usize;
+            self.in_queue[c] = false;
+            if !self.dont_look[c] {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Set the don't-look bit of `c` (the city found no improving move).
+    #[inline]
+    pub fn set_dont_look(&mut self, c: usize) {
+        self.dont_look[c] = true;
+    }
+
+    /// Number of currently queued cities (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_core::generate;
+
+    #[test]
+    fn two_opt_by_edges_any_orientation() {
+        let inst = generate::uniform(10, 1000.0, 1);
+        let mut tour = Tour::identity(10);
+        let before = tour.length(&inst);
+        // Remove (2,3) and (7,8), passing endpoints in scrambled order.
+        two_opt_by_edges(&mut tour, (3, 2), (7, 8));
+        assert!(tour.is_valid());
+        assert!(!tour.has_edge(2, 3));
+        assert!(!tour.has_edge(7, 8));
+        // The crossing pair appears.
+        assert!(tour.has_edge(2, 7) || tour.has_edge(2, 8));
+        // Re-applying on the added edges restores the original tour.
+        let (e1, e2) = if tour.has_edge(2, 7) {
+            ((2, 7), (3, 8))
+        } else {
+            ((2, 8), (3, 7))
+        };
+        two_opt_by_edges(&mut tour, e1, e2);
+        assert_eq!(tour.length(&inst), before);
+        assert!(tour.has_edge(2, 3));
+        assert!(tour.has_edge(7, 8));
+    }
+
+    #[test]
+    fn queue_discipline() {
+        let inst = generate::uniform(5, 100.0, 2);
+        let nl = NeighborLists::build(&inst, 3);
+        let mut opt = Optimizer::new(&inst, &nl);
+        assert_eq!(opt.active_count(), 5);
+        let first = opt.pop_active().unwrap();
+        assert_eq!(first, 0);
+        opt.set_dont_look(1);
+        assert_eq!(opt.pop_active(), Some(2)); // 1 is skipped
+        opt.activate(1);
+        opt.activate(1); // idempotent
+        // Drain: 3, 4, then 1.
+        assert_eq!(opt.pop_active(), Some(3));
+        assert_eq!(opt.pop_active(), Some(4));
+        assert_eq!(opt.pop_active(), Some(1));
+        assert_eq!(opt.pop_active(), None);
+    }
+
+    #[test]
+    fn deactivate_then_seed() {
+        let inst = generate::uniform(6, 100.0, 3);
+        let nl = NeighborLists::build(&inst, 3);
+        let mut opt = Optimizer::new(&inst, &nl);
+        opt.deactivate_all();
+        assert_eq!(opt.pop_active(), None);
+        opt.activate(4);
+        opt.activate(2);
+        assert_eq!(opt.pop_active(), Some(4));
+        assert_eq!(opt.pop_active(), Some(2));
+        assert_eq!(opt.pop_active(), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! lk-crate integration tests: construction → local search → chained
+//! kicks as one pipeline, across all generator families.
+
+use lk::construct::{construct, Construction};
+use lk::lin_kernighan::{lin_kernighan, LinKernighan, LkConfig};
+use lk::{Budget, ChainedLk, ChainedLkConfig, KickStrategy, Optimizer};
+use rand::{rngs::SmallRng, SeedableRng};
+use tsp_core::{generate, Instance, NeighborLists};
+
+fn families() -> Vec<Instance> {
+    vec![
+        generate::uniform(200, 100_000.0, 1),
+        generate::clustered_dimacs(200, 2),
+        generate::drill_plate(200, 3),
+        generate::pcb_like(200, 4),
+        generate::road_like(200, 5),
+        generate::grid_known_optimum(14, 14, 100.0),
+    ]
+}
+
+/// LK improves every construction on every family, with exact
+/// accounting.
+#[test]
+fn lk_improves_every_construction_on_every_family() {
+    for inst in families() {
+        let nl = NeighborLists::build(&inst, 8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for which in [
+            Construction::QuickBoruvka,
+            Construction::NearestNeighbor,
+            Construction::Greedy,
+            Construction::SpaceFilling,
+            Construction::Random,
+        ] {
+            let mut tour = construct(&inst, which, &mut rng);
+            let before = tour.length(&inst);
+            let mut opt = Optimizer::new(&inst, &nl);
+            let mut lk = LinKernighan::new(LkConfig::default());
+            let gain = lin_kernighan(&mut lk, &mut opt, &mut tour);
+            assert!(tour.is_valid(), "{} / {which:?}", inst.name());
+            assert_eq!(
+                tour.length(&inst),
+                before - gain,
+                "{} / {which:?}: gain accounting broken",
+                inst.name()
+            );
+            assert!(gain >= 0);
+        }
+    }
+}
+
+/// Chained LK's best length is monotone in the kick budget (same
+/// seed): more kicks never end worse, because worse trials are
+/// rejected.
+#[test]
+fn clk_monotone_in_kick_budget() {
+    let inst = generate::clustered_dimacs(300, 9);
+    let nl = NeighborLists::build(&inst, 10);
+    let mut prev = i64::MAX;
+    for kicks in [0u64, 50, 200, 800] {
+        let cfg = ChainedLkConfig {
+            seed: 4,
+            ..Default::default()
+        };
+        let mut engine = ChainedLk::new(&inst, &nl, cfg);
+        let len = engine.run(&Budget::kicks(kicks)).length;
+        assert!(
+            len <= prev,
+            "budget {kicks}: {len} worse than smaller budget's {prev}"
+        );
+        prev = len;
+    }
+}
+
+/// CLK solves a family of grids to optimality within generous kick
+/// budgets (the Table 3 mechanism at unit scale).
+#[test]
+fn clk_solves_grids() {
+    for (w, h) in [(6usize, 6usize), (8, 8), (10, 10)] {
+        let inst = generate::grid_known_optimum(w, h, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let opt = inst.known_optimum().unwrap();
+        let mut solved = false;
+        for seed in 0..3u64 {
+            let cfg = ChainedLkConfig {
+                seed,
+                ..Default::default()
+            };
+            let mut engine = ChainedLk::new(&inst, &nl, cfg);
+            let res = engine.run(&Budget::kicks(4000).with_target(opt));
+            if res.length == opt {
+                solved = true;
+                break;
+            }
+        }
+        assert!(solved, "no seed solved the {w}x{h} grid");
+    }
+}
+
+/// The four kick strategies all keep the accept/revert contract: the
+/// running best never worsens across chained iterations.
+#[test]
+fn chain_step_never_worsens() {
+    let inst = generate::uniform(250, 100_000.0, 10);
+    let nl = NeighborLists::build(&inst, 10);
+    for strategy in KickStrategy::ALL {
+        let cfg = ChainedLkConfig {
+            kick: strategy,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut engine = ChainedLk::new(&inst, &nl, cfg);
+        let mut tour = engine.construct_tour();
+        engine.optimize(&mut tour);
+        let mut best = tour.length(&inst);
+        for _ in 0..40 {
+            let new_best = engine.chain_step(&mut tour, best);
+            assert!(new_best <= best, "{strategy:?} worsened the best");
+            assert_eq!(tour.length(&inst), new_best, "{strategy:?} misreported");
+            best = new_best;
+        }
+    }
+}
+
+/// Multilevel and plain CLK agree within a small factor; multilevel
+/// does not produce garbage on clustered data (the coarsening edge
+/// case the paper's related-work section flags for Bachem/Wottawa).
+#[test]
+fn multilevel_quality_sane_on_clusters() {
+    let inst = generate::clustered(400, 1_000_000.0, 6, 10_000.0, 12);
+    let nl = NeighborLists::build(&inst, 10);
+    let ml = lk::multilevel::multilevel_clk(&inst, &lk::multilevel::MultilevelConfig::default(), 5);
+    let mut engine = ChainedLk::new(
+        &inst,
+        &nl,
+        ChainedLkConfig {
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let clk = engine.run(&Budget::kicks(100));
+    assert!(
+        (ml.length as f64) < 1.2 * clk.length as f64,
+        "multilevel {} vs CLK {}",
+        ml.length,
+        clk.length
+    );
+}

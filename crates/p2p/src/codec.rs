@@ -1,0 +1,204 @@
+//! Hand-rolled binary wire codec.
+//!
+//! Frames are length-prefixed: `u32 (LE) payload length` followed by the
+//! payload. Payload layout: `u8` tag, then fixed-width little-endian
+//! fields. Tour orders are `u32` city indices. No external serialization
+//! crate is needed — the protocol has three message types and the codec
+//! is ~100 lines (see DESIGN.md §6).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::message::Message;
+use crate::NetError;
+
+const TAG_TOUR: u8 = 1;
+const TAG_OPTIMUM: u8 = 2;
+const TAG_LEAVE: u8 = 3;
+
+/// Maximum accepted payload (guards against corrupt length prefixes):
+/// a tour of 10 million cities is ~40 MB.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Encode a message into a length-prefixed frame.
+pub fn encode(msg: &Message) -> Bytes {
+    let body_len = msg.wire_size();
+    let mut buf = BytesMut::with_capacity(4 + body_len);
+    buf.put_u32_le(body_len as u32);
+    match msg {
+        Message::TourFound {
+            from,
+            length,
+            order,
+        } => {
+            buf.put_u8(TAG_TOUR);
+            buf.put_u64_le(*from as u64);
+            buf.put_i64_le(*length);
+            buf.put_u32_le(order.len() as u32);
+            for &c in order {
+                buf.put_u32_le(c);
+            }
+        }
+        Message::OptimumFound { from, length } => {
+            buf.put_u8(TAG_OPTIMUM);
+            buf.put_u64_le(*from as u64);
+            buf.put_i64_le(*length);
+        }
+        Message::Leave { from } => {
+            buf.put_u8(TAG_LEAVE);
+            buf.put_u64_le(*from as u64);
+        }
+    }
+    debug_assert_eq!(buf.len(), 4 + body_len);
+    buf.freeze()
+}
+
+/// Decode one payload (without the length prefix).
+pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
+    let err = |m: &str| NetError::Codec(m.to_string());
+    if payload.is_empty() {
+        return Err(err("empty payload"));
+    }
+    let tag = payload.get_u8();
+    match tag {
+        TAG_TOUR => {
+            if payload.remaining() < 8 + 8 + 4 {
+                return Err(err("truncated TourFound header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let length = payload.get_i64_le();
+            let n = payload.get_u32_le() as usize;
+            if payload.remaining() != 4 * n {
+                return Err(err("TourFound order length mismatch"));
+            }
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(payload.get_u32_le());
+            }
+            Ok(Message::TourFound {
+                from,
+                length,
+                order,
+            })
+        }
+        TAG_OPTIMUM => {
+            if payload.remaining() != 16 {
+                return Err(err("bad OptimumFound size"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let length = payload.get_i64_le();
+            Ok(Message::OptimumFound { from, length })
+        }
+        TAG_LEAVE => {
+            if payload.remaining() != 8 {
+                return Err(err("bad Leave size"));
+            }
+            Ok(Message::Leave {
+                from: payload.get_u64_le() as usize,
+            })
+        }
+        t => Err(err(&format!("unknown tag {t}"))),
+    }
+}
+
+/// Read one frame from a blocking reader (e.g. a `TcpStream`).
+pub fn read_frame<R: std::io::Read>(reader: &mut R) -> Result<Message, NetError> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(NetError::Codec(format!("bad frame length {len}")));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    decode(&payload)
+}
+
+/// Write one frame to a blocking writer.
+pub fn write_frame<W: std::io::Write>(writer: &mut W, msg: &Message) -> Result<(), NetError> {
+    let frame = encode(msg);
+    writer.write_all(&frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = encode(&msg);
+        let (len_prefix, payload) = frame.split_at(4);
+        let len = u32::from_le_bytes(len_prefix.try_into().unwrap()) as usize;
+        assert_eq!(len, payload.len());
+        assert_eq!(len, msg.wire_size());
+        let back = decode(payload).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(Message::TourFound {
+            from: 5,
+            length: -123456789,
+            order: (0..777).collect(),
+        });
+        roundtrip(Message::OptimumFound {
+            from: 0,
+            length: i64::MAX,
+        });
+        roundtrip(Message::Leave { from: usize::MAX >> 1 });
+    }
+
+    #[test]
+    fn roundtrip_empty_order() {
+        roundtrip(Message::TourFound {
+            from: 1,
+            length: 0,
+            order: vec![],
+        });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[99, 0, 0]).is_err());
+        assert!(decode(&[TAG_OPTIMUM, 1, 2]).is_err());
+        // Tour claiming more cities than bytes present.
+        let mut bad = vec![TAG_TOUR];
+        bad.extend_from_slice(&5u64.to_le_bytes());
+        bad.extend_from_slice(&7i64.to_le_bytes());
+        bad.extend_from_slice(&100u32.to_le_bytes());
+        bad.extend_from_slice(&[1, 2, 3]); // not 400 bytes
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let msgs = vec![
+            Message::Leave { from: 2 },
+            Message::TourFound {
+                from: 1,
+                length: 99,
+                order: vec![3, 1, 2, 0],
+            },
+            Message::OptimumFound { from: 0, length: 7 },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &msgs {
+            let got = read_frame(&mut cursor).unwrap();
+            assert_eq!(&got, m);
+        }
+    }
+
+    #[test]
+    fn bad_length_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! The bootstrap hub (paper §2.2).
+//!
+//! The hub is the only central component and is used *only* during
+//! network initialization: each node connects, announces its listen
+//! address, and receives its hypercube position plus the list of
+//! neighbors that have already joined. The joining node then dials
+//! those neighbors directly; nodes joining later dial it, and the TCP
+//! layer registers the reverse edges — so early nodes start with sparse
+//! lists that fill in as the cube completes, exactly as the paper
+//! describes.
+//!
+//! The bootstrap protocol is a one-request/one-response text exchange
+//! (`JOIN <addr>` → `ID <id> EXPECT <n> NEIGHBORS <id>@<addr>;…`),
+//! deliberately separate from the binary peer protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+use crate::message::NodeId;
+use crate::topology::Topology;
+use crate::NetError;
+
+/// A running hub, serving until `expected` nodes have joined.
+pub struct Hub {
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Hub {
+    /// Start a hub on `addr` (port 0 for ephemeral) for a network of
+    /// `expected` nodes with the given topology.
+    pub fn start(addr: &str, expected: usize, topology: Topology) -> Result<Hub, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let thread = std::thread::Builder::new()
+            .name("p2p-hub".into())
+            .spawn(move || hub_loop(listener, expected, topology))
+            .expect("spawn hub thread");
+        Ok(Hub {
+            addr,
+            thread: Some(thread),
+        })
+    }
+
+    /// Address nodes should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait until all expected nodes joined and the hub retired.
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn hub_loop(listener: TcpListener, expected: usize, topology: Topology) {
+    let mut joined: Vec<SocketAddr> = Vec::with_capacity(expected);
+    while joined.len() < expected {
+        let (stream, _) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => return,
+        };
+        if let Err(e) = serve_one(stream, &mut joined, expected, topology) {
+            // A malformed join attempt doesn't kill the hub.
+            eprintln!("hub: rejected join: {e}");
+        }
+    }
+}
+
+fn serve_one(
+    stream: TcpStream,
+    joined: &mut Vec<SocketAddr>,
+    expected: usize,
+    topology: Topology,
+) -> Result<(), NetError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let parts: Vec<&str> = line.trim().splitn(2, ' ').collect();
+    if parts.len() != 2 || parts[0] != "JOIN" {
+        return Err(NetError::Codec(format!("bad hub request {line:?}")));
+    }
+    let listen: SocketAddr = parts[1]
+        .parse()
+        .map_err(|e| NetError::Codec(format!("bad address {:?}: {e}", parts[1])))?;
+    let id = joined.len() as NodeId;
+    joined.push(listen);
+    // Neighbors in the final topology that already joined.
+    let neighbors: Vec<String> = topology
+        .neighbors(id, expected)
+        .into_iter()
+        .filter(|&m| m < id)
+        .map(|m| format!("{m}@{}", joined[m]))
+        .collect();
+    let mut w = stream;
+    writeln!(
+        w,
+        "ID {id} EXPECT {expected} NEIGHBORS {}",
+        neighbors.join(";")
+    )?;
+    w.flush()?;
+    Ok(())
+}
+
+/// A node's view after bootstrap: its id and the already-joined
+/// neighbors to dial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinInfo {
+    /// Assigned hypercube position.
+    pub id: NodeId,
+    /// Total network size.
+    pub expected: usize,
+    /// Neighbors that joined earlier: `(id, address)`.
+    pub neighbors: Vec<(NodeId, SocketAddr)>,
+}
+
+/// Join a network: contact the hub, announce our listen address, and
+/// parse the assigned position and neighbor list.
+pub fn join_via_hub(hub: SocketAddr, listen: SocketAddr) -> Result<JoinInfo, NetError> {
+    let mut stream = TcpStream::connect(hub)?;
+    writeln!(stream, "JOIN {listen}")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    parse_join_reply(&line)
+}
+
+fn parse_join_reply(line: &str) -> Result<JoinInfo, NetError> {
+    let err = |m: String| NetError::Codec(m);
+    let tokens: Vec<&str> = line.trim().split(' ').collect();
+    if tokens.len() < 5 || tokens[0] != "ID" || tokens[2] != "EXPECT" || tokens[4] != "NEIGHBORS" {
+        return Err(err(format!("bad hub reply {line:?}")));
+    }
+    let id: NodeId = tokens[1].parse().map_err(|_| err("bad id".into()))?;
+    let expected: usize = tokens[3].parse().map_err(|_| err("bad expect".into()))?;
+    let mut neighbors = Vec::new();
+    if tokens.len() > 5 {
+        for item in tokens[5].split(';').filter(|s| !s.is_empty()) {
+            let (nid, addr) = item
+                .split_once('@')
+                .ok_or_else(|| err(format!("bad neighbor {item:?}")))?;
+            neighbors.push((
+                nid.parse().map_err(|_| err("bad neighbor id".into()))?,
+                addr.parse()
+                    .map_err(|_| err(format!("bad neighbor addr {addr:?}")))?,
+            ));
+        }
+    }
+    Ok(JoinInfo {
+        id,
+        expected,
+        neighbors,
+    })
+}
+
+/// Convenience for tests and examples: bootstrap a full TCP network of
+/// `n` [`crate::tcp::TcpEndpoint`]s through a hub on localhost, wiring
+/// all topology edges, and wait until every edge is live.
+pub fn bootstrap_local(n: usize, topology: Topology) -> Result<Vec<crate::tcp::TcpEndpoint>, NetError> {
+    let hub = Hub::start("127.0.0.1:0", n, topology)?;
+    let hub_addr = hub.addr();
+    let mut endpoints = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Bind first so we can announce a real listen address, then let
+        // the hub assign the id.
+        let mut ep = crate::tcp::TcpEndpoint::bind(usize::MAX, "127.0.0.1:0")?;
+        let info = join_via_hub(hub_addr, ep.listen_addr())?;
+        ep.set_id(info.id);
+        for (nid, addr) in &info.neighbors {
+            ep.connect_to(*nid, *addr)?;
+        }
+        endpoints.push(ep);
+    }
+    hub.join();
+    Ok(endpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+
+    #[test]
+    fn parse_reply_with_neighbors() {
+        let info =
+            parse_join_reply("ID 3 EXPECT 8 NEIGHBORS 1@127.0.0.1:9001;2@127.0.0.1:9002\n")
+                .unwrap();
+        assert_eq!(info.id, 3);
+        assert_eq!(info.expected, 8);
+        assert_eq!(info.neighbors.len(), 2);
+        assert_eq!(info.neighbors[0].0, 1);
+    }
+
+    #[test]
+    fn parse_reply_empty_neighbors() {
+        let info = parse_join_reply("ID 0 EXPECT 8 NEIGHBORS \n").unwrap();
+        assert_eq!(info.id, 0);
+        assert!(info.neighbors.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_join_reply("HELLO WORLD").is_err());
+        assert!(parse_join_reply("ID x EXPECT 8 NEIGHBORS ").is_err());
+    }
+
+    #[test]
+    fn hub_assigns_sequential_ids_and_earlier_neighbors() {
+        let hub = Hub::start("127.0.0.1:0", 4, Topology::Ring).unwrap();
+        let addr = hub.addr();
+        let mut infos = Vec::new();
+        for i in 0..4 {
+            let listen: SocketAddr = format!("127.0.0.1:{}", 40000 + i).parse().unwrap();
+            infos.push(join_via_hub(addr, listen).unwrap());
+        }
+        hub.join();
+        assert_eq!(infos[0].id, 0);
+        assert!(infos[0].neighbors.is_empty());
+        // Ring: node 3 neighbors {2, 0}, both already joined.
+        assert_eq!(infos[3].id, 3);
+        let ids: Vec<NodeId> = infos[3].neighbors.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&2) && ids.contains(&0));
+    }
+
+    #[test]
+    fn bootstrap_local_wires_full_topology() {
+        let mut eps = bootstrap_local(4, Topology::Ring).unwrap();
+        // Give reverse edges a moment to register.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
+        loop {
+            let complete = eps.iter().all(|e| e.neighbors().len() == 2);
+            if complete || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        for (i, e) in eps.iter().enumerate() {
+            let mut nb = e.neighbors();
+            nb.sort_unstable();
+            let mut want = Topology::Ring.neighbors(i, 4);
+            want.sort_unstable();
+            assert_eq!(nb, want, "node {i}");
+        }
+        for e in &mut eps {
+            e.shutdown();
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # p2p
+//!
+//! The peer-to-peer substrate of the distributed algorithm (paper §2.2):
+//! a structured network of compute nodes bootstrapped by a central
+//! **hub** that assigns each joining node its position in a **hypercube
+//! topology** and hands out neighbor lists; after bootstrap all traffic
+//! flows directly between peers over TCP.
+//!
+//! The crate provides two interchangeable transports behind one trait:
+//!
+//! - [`memory::InMemoryNetwork`] — crossbeam channels between threads in
+//!   one process. Used by the simulation driver and by deterministic
+//!   tests; message *semantics* are identical to TCP.
+//! - [`tcp`] — real TCP sockets with length-prefixed frames and a
+//!   hand-rolled binary codec ([`codec`]), plus the hub bootstrap
+//!   protocol ([`hub`]). This is the deployment path the paper's Java
+//!   system used.
+//!
+//! Topologies beyond the paper's hypercube (ring, complete, star) are in
+//! [`topology`] for the ablation experiments.
+
+pub mod codec;
+pub mod delay;
+pub mod hub;
+pub mod memory;
+pub mod message;
+pub mod tcp;
+pub mod topology;
+pub mod transport;
+
+pub use memory::InMemoryNetwork;
+pub use message::{Message, NodeId};
+pub use topology::Topology;
+pub use transport::Transport;
+
+/// Networking error type.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The peer is unknown or has left the network.
+    UnknownPeer(NodeId),
+    /// A frame failed to decode (corrupt or truncated).
+    Codec(String),
+    /// The transport was shut down.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::UnknownPeer(id) => write!(f, "unknown peer {id}"),
+            NetError::Codec(msg) => write!(f, "codec error: {msg}"),
+            NetError::Closed => write!(f, "transport closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}

@@ -1,0 +1,210 @@
+//! In-process transport over crossbeam channels.
+//!
+//! Semantically identical to the TCP transport (asynchronous,
+//! unordered across peers, ordered per peer) but runs the whole
+//! network inside one process — the harness the simulation driver and
+//! the deterministic tests use. Message counts and byte volumes are
+//! tracked so the message-statistics experiment (§4 prelude) works on
+//! either backend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::message::{Message, NodeId};
+use crate::topology::Topology;
+use crate::transport::Transport;
+use crate::NetError;
+
+/// Shared counters for network statistics.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Messages sent across the whole network.
+    pub messages: AtomicU64,
+    /// Total wire bytes (per [`Message::wire_size`]).
+    pub bytes: AtomicU64,
+    /// Tour broadcasts specifically (the paper reports these).
+    pub tour_broadcasts: AtomicU64,
+}
+
+impl NetStats {
+    fn record(&self, msg: &Message) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(msg.wire_size() as u64, Ordering::Relaxed);
+        if matches!(msg, Message::TourFound { .. }) {
+            self.tour_broadcasts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot `(messages, bytes, tour_broadcasts)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.messages.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.tour_broadcasts.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One node's endpoint in an in-memory network.
+pub struct MemoryEndpoint {
+    id: NodeId,
+    neighbors: Vec<NodeId>,
+    inbox: Receiver<Message>,
+    /// Senders to every node (index = node id); `None` once that node
+    /// left.
+    peers: Arc<RwLock<Vec<Option<Sender<Message>>>>>,
+    stats: Arc<NetStats>,
+}
+
+impl Transport for MemoryEndpoint {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn neighbors(&self) -> Vec<NodeId> {
+        self.neighbors.clone()
+    }
+
+    fn send(&mut self, to: NodeId, msg: Message) -> Result<(), NetError> {
+        let peers = self.peers.read();
+        let tx = peers
+            .get(to)
+            .and_then(|p| p.as_ref())
+            .ok_or(NetError::UnknownPeer(to))?;
+        self.stats.record(&msg);
+        tx.send(msg).map_err(|_| NetError::Closed)
+    }
+
+    fn try_recv(&mut self) -> Option<Message> {
+        self.inbox.try_recv().ok()
+    }
+
+    fn leave(&mut self) {
+        let id = self.node_id();
+        self.broadcast(Message::Leave { from: id });
+        // Unregister so senders get UnknownPeer instead of piling up
+        // messages nobody will read.
+        self.peers.write()[id] = None;
+    }
+}
+
+/// Factory for a whole in-memory network.
+///
+/// ```
+/// use p2p::{InMemoryNetwork, Message, Topology, Transport};
+///
+/// let (mut eps, stats) = InMemoryNetwork::build(8, Topology::Hypercube);
+/// let sent = eps[0].broadcast(Message::Leave { from: 0 });
+/// assert_eq!(sent, 3); // hypercube degree at n = 8
+/// assert_eq!(stats.snapshot().0, 3);
+/// ```
+pub struct InMemoryNetwork;
+
+impl InMemoryNetwork {
+    /// Build an `n`-node network with the given topology, returning one
+    /// endpoint per node (move each onto its own thread).
+    pub fn build(n: usize, topology: Topology) -> (Vec<MemoryEndpoint>, Arc<NetStats>) {
+        let stats = Arc::new(NetStats::default());
+        let mut senders: Vec<Option<Sender<Message>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(Some(tx));
+            receivers.push(rx);
+        }
+        let peers = Arc::new(RwLock::new(senders));
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, inbox)| MemoryEndpoint {
+                id,
+                neighbors: topology.neighbors(id, n),
+                inbox,
+                peers: Arc::clone(&peers),
+                stats: Arc::clone(&stats),
+            })
+            .collect();
+        (endpoints, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_flow_between_neighbors() {
+        let (mut eps, stats) = InMemoryNetwork::build(8, Topology::Hypercube);
+        let msg = Message::TourFound {
+            from: 0,
+            length: 42,
+            order: vec![0, 1, 2],
+        };
+        let sent = eps[0].broadcast(msg.clone());
+        assert_eq!(sent, 3); // hypercube degree at n=8
+        // Node 1 is a neighbor of 0.
+        let got = eps[1].try_recv().unwrap();
+        assert_eq!(got, msg);
+        // Node 7 (111) is not adjacent to 0 (000).
+        assert!(eps[7].try_recv().is_none());
+        let (m, b, t) = stats.snapshot();
+        assert_eq!(m, 3);
+        assert_eq!(t, 3);
+        assert!(b > 0);
+    }
+
+    #[test]
+    fn drain_collects_everything() {
+        let (mut eps, _) = InMemoryNetwork::build(4, Topology::Complete);
+        for from in 1..4 {
+            let m = Message::OptimumFound { from, length: 7 };
+            // Send directly to node 0.
+            eps[from].send(0, m).unwrap();
+        }
+        let got = eps[0].drain();
+        assert_eq!(got.len(), 3);
+        assert!(eps[0].drain().is_empty());
+    }
+
+    #[test]
+    fn leave_unregisters_node() {
+        let (mut eps, _) = InMemoryNetwork::build(4, Topology::Ring);
+        let mut e1 = eps.remove(1);
+        e1.leave();
+        // Neighbors received the leave notice.
+        let notices = eps[0].drain(); // old index 0
+        assert!(notices.iter().any(|m| matches!(m, Message::Leave { from: 1 })));
+        // Sending to the departed node now fails.
+        let err = eps[0].send(1, Message::Leave { from: 0 }).unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer(1)));
+    }
+
+    #[test]
+    fn per_peer_ordering_preserved() {
+        let (mut eps, _) = InMemoryNetwork::build(2, Topology::Ring);
+        for i in 0..10i64 {
+            eps[0]
+                .send(1, Message::OptimumFound { from: 0, length: i })
+                .unwrap();
+        }
+        let got = eps[1].drain();
+        let lens: Vec<i64> = got
+            .iter()
+            .map(|m| match m {
+                Message::OptimumFound { length, .. } => *length,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(lens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn endpoints_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MemoryEndpoint>();
+    }
+}

@@ -1,0 +1,99 @@
+//! Messages exchanged between nodes.
+//!
+//! The paper's protocol is deliberately small: nodes broadcast improved
+//! tours to their neighbors, announce when the known optimum was found
+//! (a termination criterion), and leave the network when their budget
+//! runs out (the topology "degenerates" near the end of a run, §2.3).
+
+/// Dense node identifier assigned by the hub (the node's position in
+/// the hypercube).
+pub type NodeId = usize;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// An improved tour, broadcast to the sender's neighbors
+    /// (paper Fig. 1: `BROADCASTTONEIGHBORS(s_best)`).
+    TourFound {
+        /// Originating node.
+        from: NodeId,
+        /// Tour length (precomputed by the sender so receivers can
+        /// filter without touching the instance).
+        length: i64,
+        /// Visiting order.
+        order: Vec<u32>,
+    },
+    /// The sender's local CLK discovered a tour matching the known
+    /// optimum — every node may terminate (§2.3 criterion 2).
+    OptimumFound {
+        /// Originating node.
+        from: NodeId,
+        /// The optimal length found.
+        length: i64,
+    },
+    /// The sender is leaving the network (budget exhausted).
+    Leave {
+        /// Departing node.
+        from: NodeId,
+    },
+}
+
+impl Message {
+    /// The sender of the message.
+    pub fn from(&self) -> NodeId {
+        match *self {
+            Message::TourFound { from, .. }
+            | Message::OptimumFound { from, .. }
+            | Message::Leave { from } => from,
+        }
+    }
+
+    /// Wire-size estimate in bytes (used by the message-statistics
+    /// experiment to report communication volume).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::TourFound { order, .. } => 1 + 8 + 8 + 4 + 4 * order.len(),
+            Message::OptimumFound { .. } => 1 + 8 + 8,
+            Message::Leave { .. } => 1 + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_extracts_sender() {
+        assert_eq!(Message::Leave { from: 3 }.from(), 3);
+        assert_eq!(
+            Message::OptimumFound { from: 7, length: 1 }.from(),
+            7
+        );
+        assert_eq!(
+            Message::TourFound {
+                from: 2,
+                length: 10,
+                order: vec![0, 1, 2]
+            }
+            .from(),
+            2
+        );
+    }
+
+    #[test]
+    fn wire_size_scales_with_tour() {
+        let small = Message::TourFound {
+            from: 0,
+            length: 0,
+            order: vec![0; 10],
+        };
+        let big = Message::TourFound {
+            from: 0,
+            length: 0,
+            order: vec![0; 1000],
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(big.wire_size() - small.wire_size(), 4 * 990);
+    }
+}

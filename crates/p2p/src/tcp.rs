@@ -1,0 +1,271 @@
+//! Real TCP transport.
+//!
+//! Each node binds a listener; peer links are ordinary TCP connections
+//! carrying the length-prefixed binary frames of [`crate::codec`]. A
+//! connecting peer first sends its 8-byte node id, so the accepting
+//! side can register the reverse edge — this implements the paper's
+//! "if the contacted node did not know the contacting node before, the
+//! contacting node is added to the contacted node's neighbor list"
+//! (§2.2).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::codec::{read_frame, write_frame};
+use crate::message::{Message, NodeId};
+use crate::transport::Transport;
+use crate::NetError;
+
+/// Shared mutable state of one TCP endpoint.
+struct Shared {
+    /// Write halves, keyed by peer id.
+    peers: Mutex<HashMap<NodeId, TcpStream>>,
+    /// Known neighbor ids (order = connection order).
+    neighbors: RwLock<Vec<NodeId>>,
+    /// Set on shutdown; reader and accept threads exit.
+    shutdown: AtomicBool,
+    inbox_tx: Sender<Message>,
+}
+
+/// A TCP-backed [`Transport`].
+pub struct TcpEndpoint {
+    id: NodeId,
+    listen_addr: SocketAddr,
+    inbox_rx: Receiver<Message>,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    /// Bind a listener on `addr` (use port 0 for an ephemeral port) and
+    /// start accepting peer connections.
+    pub fn bind(id: NodeId, addr: &str) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let listen_addr = listener.local_addr()?;
+        let (inbox_tx, inbox_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            peers: Mutex::new(HashMap::new()),
+            neighbors: RwLock::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            inbox_tx,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("p2p-accept-{id}"))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(TcpEndpoint {
+            id,
+            listen_addr,
+            inbox_rx,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address peers should connect to.
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Set the node id after bootstrap (the hub assigns ids, but the
+    /// listener must exist *before* joining so the node can announce a
+    /// real address — bind with a placeholder, then call this before
+    /// any [`TcpEndpoint::connect_to`]).
+    pub fn set_id(&mut self, id: NodeId) {
+        self.id = id;
+    }
+
+    /// Open a link to a peer (the hub told us its id and address).
+    pub fn connect_to(&self, peer: NodeId, addr: SocketAddr) -> Result<(), NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        // Identify ourselves so the peer registers the reverse edge.
+        stream.write_all(&(self.id as u64).to_le_bytes())?;
+        stream.flush()?;
+        register_peer(&self.shared, peer, stream);
+        Ok(())
+    }
+
+    /// Stop all threads and drop connections.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.listen_addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let mut peers = self.shared.peers.lock();
+        for (_, s) in peers.drain() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Register a connected peer: store the write half, spawn a reader for
+/// the read half, add to the neighbor list if new.
+fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
+    let read_half = stream.try_clone().expect("clone tcp stream");
+    shared.peers.lock().insert(peer, stream);
+    {
+        let mut nb = shared.neighbors.write();
+        if !nb.contains(&peer) {
+            nb.push(peer);
+        }
+    }
+    let reader_shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("p2p-read-{peer}"))
+        .spawn(move || reader_loop(read_half, peer, reader_shared))
+        .expect("spawn reader thread");
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => break,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        stream.set_nodelay(true).ok();
+        // First 8 bytes: the connecting peer's id.
+        let mut id_buf = [0u8; 8];
+        if stream.read_exact(&mut id_buf).is_err() {
+            continue;
+        }
+        let peer = u64::from_le_bytes(id_buf) as NodeId;
+        register_peer(&shared, peer, stream);
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, peer: NodeId, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match read_frame(&mut stream) {
+            Ok(msg) => {
+                let leaving = matches!(msg, Message::Leave { .. });
+                if shared.inbox_tx.send(msg).is_err() {
+                    break;
+                }
+                if leaving {
+                    shared.peers.lock().remove(&peer);
+                    shared.neighbors.write().retain(|&n| n != peer);
+                    break;
+                }
+            }
+            Err(_) => {
+                // Connection dropped: forget the peer.
+                shared.peers.lock().remove(&peer);
+                shared.neighbors.write().retain(|&n| n != peer);
+                break;
+            }
+        }
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn neighbors(&self) -> Vec<NodeId> {
+        self.shared.neighbors.read().clone()
+    }
+
+    fn send(&mut self, to: NodeId, msg: Message) -> Result<(), NetError> {
+        let mut peers = self.shared.peers.lock();
+        let stream = peers.get_mut(&to).ok_or(NetError::UnknownPeer(to))?;
+        write_frame(stream, &msg)
+    }
+
+    fn try_recv(&mut self) -> Option<Message> {
+        self.inbox_rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn recv_with_timeout(ep: &mut TcpEndpoint, millis: u64) -> Option<Message> {
+        let deadline = std::time::Instant::now() + Duration::from_millis(millis);
+        while std::time::Instant::now() < deadline {
+            if let Some(m) = ep.try_recv() {
+                return Some(m);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        None
+    }
+
+    #[test]
+    fn two_nodes_exchange_tours() {
+        let mut a = TcpEndpoint::bind(0, "127.0.0.1:0").unwrap();
+        let mut b = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        // Wait for b to register the reverse edge.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while b.neighbors().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(b.neighbors(), vec![0]);
+        assert_eq!(a.neighbors(), vec![1]);
+
+        let msg = Message::TourFound {
+            from: 0,
+            length: 1234,
+            order: (0..100).collect(),
+        };
+        a.send(1, msg.clone()).unwrap();
+        assert_eq!(recv_with_timeout(&mut b, 2000), Some(msg));
+
+        // And the reverse direction over the same socket pair.
+        let reply = Message::OptimumFound { from: 1, length: 9 };
+        b.send(0, reply.clone()).unwrap();
+        assert_eq!(recv_with_timeout(&mut a, 2000), Some(reply));
+    }
+
+    #[test]
+    fn leave_removes_peer() {
+        let mut a = TcpEndpoint::bind(0, "127.0.0.1:0").unwrap();
+        let mut b = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while b.neighbors().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        a.leave();
+        let got = recv_with_timeout(&mut b, 2000);
+        assert_eq!(got, Some(Message::Leave { from: 0 }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !b.neighbors().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(b.neighbors().is_empty());
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let mut a = TcpEndpoint::bind(0, "127.0.0.1:0").unwrap();
+        let err = a.send(9, Message::Leave { from: 0 }).unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer(9)));
+    }
+}

@@ -1,0 +1,49 @@
+//! The transport abstraction both backends implement.
+
+use crate::message::{Message, NodeId};
+use crate::NetError;
+
+/// A node's handle onto the network: knows its id and neighbors, can
+/// send to any neighbor and drain its inbox. Implementations must be
+/// `Send` so each node can live on its own thread.
+pub trait Transport: Send {
+    /// This node's identifier (its hypercube position).
+    fn node_id(&self) -> NodeId;
+
+    /// The node's current neighbor list.
+    fn neighbors(&self) -> Vec<NodeId>;
+
+    /// Send a message to one peer.
+    fn send(&mut self, to: NodeId, msg: Message) -> Result<(), NetError>;
+
+    /// Non-blocking receive of one pending message.
+    fn try_recv(&mut self) -> Option<Message>;
+
+    /// Broadcast to all neighbors. Peers that already left are skipped
+    /// silently (the paper's topology "degenerates" near the end of a
+    /// run as nodes finish; survivors keep working, §2.3).
+    fn broadcast(&mut self, msg: Message) -> usize {
+        let mut sent = 0;
+        for n in self.neighbors() {
+            if self.send(n, msg.clone()).is_ok() {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    /// Drain every pending message.
+    fn drain(&mut self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Announce departure to all neighbors and stop receiving.
+    fn leave(&mut self) {
+        let id = self.node_id();
+        self.broadcast(Message::Leave { from: id });
+    }
+}

@@ -1,0 +1,273 @@
+//! Uniform spatial grid over the instance bounding box.
+//!
+//! The grid buckets cities into roughly `n` rectangular cells, so a
+//! k-nearest-neighbor query expands rings of cells around the query
+//! point and inspects O(k) candidates on uniform-ish data. It is the
+//! cheap workhorse behind candidate-list construction; the k-d tree in
+//! [`crate::kdtree`] covers strongly non-uniform data (clustered or
+//! drill-plate instances) where grid occupancy degenerates.
+//!
+//! Cell sizes are chosen *per axis* and the grid dimensions are clamped
+//! to `O(√n)` cells per axis, so degenerate inputs (e.g. collinear
+//! cities) cannot blow the cell count up.
+
+use crate::instance::{Instance, Point};
+
+/// A bucketed uniform grid over 2-D city coordinates.
+#[derive(Debug)]
+pub struct Grid {
+    min_x: f64,
+    min_y: f64,
+    cell_w: f64,
+    cell_h: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR layout: `starts[c]..starts[c+1]` indexes into `items` for cell `c`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Grid {
+    /// Build a grid over all cities of a geometric instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance metric is not geometric.
+    pub fn build(inst: &Instance) -> Self {
+        assert!(
+            inst.metric().is_geometric(),
+            "spatial grid requires coordinates"
+        );
+        let pts = inst.points();
+        let n = pts.len();
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in pts {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let width = (max_x - min_x).max(1e-9);
+        let height = (max_y - min_y).max(1e-9);
+        // Aim for ~1 city per cell, but never more than ~4√n cells per
+        // axis: extreme aspect ratios would otherwise explode the cell
+        // count (collinear data ⇒ height → 0 ⇒ millions of columns).
+        let per_axis_cap = ((n as f64).sqrt() as usize * 4).max(1);
+        let aspect = width / height;
+        let target = n.max(1) as f64;
+        let cols = ((target * aspect).sqrt().ceil() as usize).clamp(1, per_axis_cap);
+        let rows = ((target / aspect).sqrt().ceil() as usize).clamp(1, per_axis_cap);
+        let cell_w = width / cols as f64;
+        let cell_h = height / rows as f64;
+
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - min_x) / cell_w) as usize).min(cols - 1);
+            let cy = (((p.y - min_y) / cell_h) as usize).min(rows - 1);
+            cy * cols + cx
+        };
+
+        // Counting sort into CSR.
+        let ncells = cols * rows;
+        let mut counts = vec![0u32; ncells + 1];
+        for p in pts {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut items = vec![0u32; n];
+        let mut fill = counts;
+        for (i, p) in pts.iter().enumerate() {
+            let c = cell_of(p);
+            items[fill[c] as usize] = i as u32;
+            fill[c] += 1;
+        }
+        Grid {
+            min_x,
+            min_y,
+            cell_w,
+            cell_h,
+            cols,
+            rows,
+            starts,
+            items,
+        }
+    }
+
+    /// Cities in the grid cell containing `p` and the `ring` cells around
+    /// it, appended to `out`.
+    fn collect_ring(&self, p: Point, ring: usize, out: &mut Vec<u32>) {
+        let cx = (((p.x - self.min_x) / self.cell_w) as isize).clamp(0, self.cols as isize - 1);
+        let cy = (((p.y - self.min_y) / self.cell_h) as isize).clamp(0, self.rows as isize - 1);
+        let r = ring as isize;
+        for gy in (cy - r)..=(cy + r) {
+            if gy < 0 || gy >= self.rows as isize {
+                continue;
+            }
+            for gx in (cx - r)..=(cx + r) {
+                if gx < 0 || gx >= self.cols as isize {
+                    continue;
+                }
+                // Only the *border* of the ring (inner rings were already
+                // collected by smaller `ring` values).
+                if ring > 0 && (gy - cy).abs() != r && (gx - cx).abs() != r {
+                    continue;
+                }
+                let c = gy as usize * self.cols + gx as usize;
+                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
+                out.extend_from_slice(&self.items[s..e]);
+            }
+        }
+    }
+
+    /// Ring radius beyond which every city is at least `ring *
+    /// effective_cell` away from any point in the query's cell.
+    fn safe_cell(&self) -> f64 {
+        // Expansion happens along both axes; out-of-bounds rows/cols cost
+        // nothing, so the binding axis is the one that still has cells.
+        if self.rows == 1 {
+            self.cell_w
+        } else if self.cols == 1 {
+            self.cell_h
+        } else {
+            self.cell_w.min(self.cell_h)
+        }
+    }
+
+    /// The `k` nearest cities to city `query` (excluding itself), by
+    /// unrounded squared Euclidean distance, closest first.
+    pub fn k_nearest(&self, inst: &Instance, query: usize, k: usize) -> Vec<u32> {
+        let p = inst.point(query);
+        let max_ring = self.cols.max(self.rows);
+        let mut cands: Vec<u32> = Vec::with_capacity(4 * k);
+        let mut ring = 0usize;
+        let safe_cell = self.safe_cell();
+        // Expand rings until the k-th best distance found so far is
+        // certainly closer than anything a further ring could contain: a
+        // city in a cell at ring r+1 or beyond is at least r*cell away
+        // from any point of the query's cell.
+        while ring <= max_ring {
+            self.collect_ring(p, ring, &mut cands);
+            if cands.len() > k {
+                let mut dists: Vec<f64> = cands
+                    .iter()
+                    .filter(|&&c| c as usize != query)
+                    .map(|&c| inst.point(c as usize).sq_dist(&p))
+                    .collect();
+                if dists.len() >= k {
+                    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let dk = dists[k - 1];
+                    let safe = ring as f64 * safe_cell;
+                    if dk <= safe * safe {
+                        break;
+                    }
+                }
+            }
+            ring += 1;
+        }
+        cands.retain(|&c| c as usize != query);
+        cands.sort_by(|&a, &b| {
+            let da = inst.point(a as usize).sq_dist(&p);
+            let db = inst.point(b as usize).sq_dist(&p);
+            da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+        });
+        cands.truncate(k);
+        cands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Point;
+    use crate::metric::Metric;
+
+    fn line_instance(n: usize) -> Instance {
+        let pts = (0..n).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        Instance::new("line", pts, Metric::Euc2d)
+    }
+
+    #[test]
+    fn nearest_on_a_line() {
+        let inst = line_instance(20);
+        let g = Grid::build(&inst);
+        let nn = g.k_nearest(&inst, 5, 2);
+        assert_eq!(nn.len(), 2);
+        let set: std::collections::HashSet<u32> = nn.into_iter().collect();
+        assert_eq!(set, [4u32, 6u32].into_iter().collect());
+    }
+
+    #[test]
+    fn boundary_cities() {
+        let inst = line_instance(20);
+        let g = Grid::build(&inst);
+        let nn = g.k_nearest(&inst, 0, 3);
+        assert_eq!(nn, vec![1, 2, 3]);
+        let nn = g.k_nearest(&inst, 19, 3);
+        assert_eq!(nn, vec![18, 17, 16]);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let inst = line_instance(5);
+        let g = Grid::build(&inst);
+        let nn = g.k_nearest(&inst, 2, 10);
+        assert_eq!(nn.len(), 4); // everyone but the query
+    }
+
+    #[test]
+    fn degenerate_collinear_data_is_fast() {
+        // 2000 cities on a line: grid dimensions must stay clamped and
+        // queries must return instantly (regression test for a blow-up
+        // where height → 0 produced ~10^5 columns).
+        let inst = line_instance(2000);
+        let g = Grid::build(&inst);
+        assert!(g.cols <= 4 * 45 + 1, "cols {} not clamped", g.cols);
+        let start = std::time::Instant::now();
+        for q in [0usize, 999, 1999] {
+            let nn = g.k_nearest(&inst, q, 8);
+            assert_eq!(nn.len(), 8);
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "degenerate grid too slow"
+        );
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let pts: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let inst = Instance::new("rand200", pts, Metric::Euc2d);
+        let g = Grid::build(&inst);
+        for q in [0usize, 17, 99, 199] {
+            let got = g.k_nearest(&inst, q, 8);
+            let mut brute: Vec<u32> = (0..200u32).filter(|&c| c as usize != q).collect();
+            let qp = inst.point(q);
+            brute.sort_by(|&a, &b| {
+                inst.point(a as usize)
+                    .sq_dist(&qp)
+                    .partial_cmp(&inst.point(b as usize).sq_dist(&qp))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            brute.truncate(8);
+            assert_eq!(got, brute, "query {q}");
+        }
+    }
+
+    #[test]
+    fn coincident_points_ok() {
+        let mut pts = vec![Point::new(5.0, 5.0); 10];
+        pts.push(Point::new(6.0, 5.0));
+        let inst = Instance::new("dup", pts, Metric::Euc2d);
+        let g = Grid::build(&inst);
+        let nn = g.k_nearest(&inst, 10, 3);
+        assert_eq!(nn.len(), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! k-nearest-neighbor candidate lists.
+//!
+//! Lin-Kernighan style searches never scan all `n` cities when extending
+//! a move; they consult a fixed-size candidate list per city (Concorde's
+//! default is 10–12 quadrant/nearest neighbors). [`NeighborLists`] stores
+//! the lists in one flat array (CSR-like, `k` entries per city) for cache
+//! friendliness, built from either spatial index, or by brute force for
+//! explicit-matrix instances.
+
+use crate::grid::Grid;
+use crate::instance::Instance;
+use crate::kdtree::KdTree;
+
+/// Flat `k`-nearest-neighbor lists for every city.
+#[derive(Debug, Clone)]
+pub struct NeighborLists {
+    k: usize,
+    flat: Vec<u32>,
+}
+
+impl NeighborLists {
+    /// Build lists of `k` nearest neighbors per city using the k-d tree
+    /// (exact, robust on clustered data).
+    pub fn build(inst: &Instance, k: usize) -> Self {
+        let n = inst.len();
+        let k = k.min(n - 1);
+        if !inst.metric().is_geometric() {
+            return Self::build_brute_force(inst, k);
+        }
+        let tree = KdTree::build(inst);
+        let mut flat = vec![0u32; n * k];
+        for c in 0..n {
+            let nn = tree.k_nearest(c, k);
+            debug_assert_eq!(nn.len(), k);
+            flat[c * k..(c + 1) * k].copy_from_slice(&nn);
+        }
+        NeighborLists { k, flat }
+    }
+
+    /// Build lists via the uniform grid (fast on uniform data; falls back
+    /// to the same exact semantics).
+    pub fn build_with_grid(inst: &Instance, k: usize) -> Self {
+        let n = inst.len();
+        let k = k.min(n - 1);
+        if !inst.metric().is_geometric() {
+            return Self::build_brute_force(inst, k);
+        }
+        let grid = Grid::build(inst);
+        let mut flat = vec![0u32; n * k];
+        for c in 0..n {
+            let nn = grid.k_nearest(inst, c, k);
+            debug_assert_eq!(nn.len(), k);
+            flat[c * k..(c + 1) * k].copy_from_slice(&nn);
+        }
+        NeighborLists { k, flat }
+    }
+
+    /// O(n² log n) fallback for explicit-matrix instances, ordered by the
+    /// instance metric itself.
+    pub fn build_brute_force(inst: &Instance, k: usize) -> Self {
+        let n = inst.len();
+        let k = k.min(n - 1);
+        let mut flat = vec![0u32; n * k];
+        let mut scratch: Vec<u32> = Vec::with_capacity(n - 1);
+        for c in 0..n {
+            scratch.clear();
+            scratch.extend((0..n as u32).filter(|&o| o as usize != c));
+            scratch.sort_by_key(|&o| (inst.dist(c, o as usize), o));
+            flat[c * k..(c + 1) * k].copy_from_slice(&scratch[..k]);
+        }
+        NeighborLists { k, flat }
+    }
+
+    /// Construct from precomputed flat lists (used by the α-nearness
+    /// builder in the `heldkarp` crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` is not a multiple of `k`.
+    pub fn from_flat(k: usize, flat: Vec<u32>) -> Self {
+        assert!(k > 0 && flat.len() % k == 0, "flat length must be n*k");
+        NeighborLists { k, flat }
+    }
+
+    /// Candidates of city `c`, nearest first.
+    #[inline(always)]
+    pub fn of(&self, c: usize) -> &[u32] {
+        &self.flat[c * self.k..(c + 1) * self.k]
+    }
+
+    /// List length `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of cities covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flat.len() / self.k
+    }
+
+    /// Never empty for valid instances.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Point;
+    use crate::metric::Metric;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pts = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        Instance::new("rand", pts, Metric::Euc2d)
+    }
+
+    #[test]
+    fn kdtree_and_grid_agree_on_distances() {
+        let inst = random_instance(150, 8);
+        let a = NeighborLists::build(&inst, 6);
+        let b = NeighborLists::build_with_grid(&inst, 6);
+        for c in 0..150 {
+            let da: Vec<i64> = a.of(c).iter().map(|&o| inst.dist(c, o as usize)).collect();
+            let db: Vec<i64> = b.of(c).iter().map(|&o| inst.dist(c, o as usize)).collect();
+            assert_eq!(da, db, "city {c}");
+        }
+    }
+
+    #[test]
+    fn lists_sorted_by_distance() {
+        let inst = random_instance(100, 9);
+        let nl = NeighborLists::build(&inst, 8);
+        for c in 0..100 {
+            let ds: Vec<f64> = nl
+                .of(c)
+                .iter()
+                .map(|&o| inst.point(o as usize).sq_dist(&inst.point(c)))
+                .collect();
+            for w in ds.windows(2) {
+                assert!(w[0] <= w[1], "city {c} list not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_n_minus_1() {
+        let inst = random_instance(5, 1);
+        let nl = NeighborLists::build(&inst, 50);
+        assert_eq!(nl.k(), 4);
+        assert_eq!(nl.len(), 5);
+    }
+
+    #[test]
+    fn brute_force_for_explicit() {
+        #[rustfmt::skip]
+        let m = vec![
+            0, 5, 2, 9,
+            5, 0, 4, 1,
+            2, 4, 0, 7,
+            9, 1, 7, 0,
+        ];
+        let inst = Instance::explicit("m4", m, 4);
+        let nl = NeighborLists::build(&inst, 2);
+        assert_eq!(nl.of(0), &[2, 1]);
+        assert_eq!(nl.of(1), &[3, 2]);
+        assert_eq!(nl.of(3), &[1, 2]);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let inst = random_instance(80, 10);
+        let nl = NeighborLists::build(&inst, 10);
+        for c in 0..80 {
+            assert!(!nl.of(c).contains(&(c as u32)));
+        }
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let nl = NeighborLists::from_flat(2, vec![1, 2, 0, 2, 0, 1]);
+        assert_eq!(nl.len(), 3);
+        assert_eq!(nl.of(1), &[0, 2]);
+    }
+}

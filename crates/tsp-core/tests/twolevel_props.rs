@@ -1,0 +1,79 @@
+//! Property tests for the two-level tour list: under arbitrary flip
+//! sequences it stays a valid permutation, agrees with its own
+//! flattened form on every query, and each flip matches the array
+//! reference applied in the list's own orientation.
+
+use proptest::prelude::*;
+use tsp_core::{Tour, TwoLevelList};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flip_sequences_preserve_all_invariants(
+        n in 10usize..150,
+        ops in prop::collection::vec((any::<u32>(), any::<u32>()), 1..40),
+    ) {
+        let mut tl = TwoLevelList::from_order_slice(&(0..n as u32).collect::<Vec<_>>());
+        for (ra, rb) in ops {
+            let a = ra as usize % n;
+            let b = rb as usize % n;
+            if a == b {
+                continue;
+            }
+            // Reference: flatten, flip with the array implementation in
+            // the SAME orientation, compare undirected cycles.
+            let mut reference = tl.to_tour();
+            reference.reverse_segment(reference.position(a), reference.position(b));
+            tl.flip(a, b);
+            prop_assert!(tl.check_invariants());
+            let want: std::collections::HashSet<(usize, usize)> = reference
+                .edges().map(|(x, y)| (x.min(y), x.max(y))).collect();
+            let got: std::collections::HashSet<(usize, usize)> = tl
+                .to_tour().edges().map(|(x, y)| (x.min(y), x.max(y))).collect();
+            prop_assert_eq!(want, got);
+        }
+        // Still a permutation of 0..n.
+        let mut order = tl.to_order();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queries_agree_with_flattened_tour(
+        n in 10usize..120,
+        ops in prop::collection::vec((any::<u32>(), any::<u32>()), 0..25),
+        probes in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..40),
+    ) {
+        let mut tl = TwoLevelList::from_order_slice(&(0..n as u32).collect::<Vec<_>>());
+        for (ra, rb) in ops {
+            let a = ra as usize % n;
+            let b = rb as usize % n;
+            if a != b {
+                tl.flip(a, b);
+            }
+        }
+        let flat: Tour = tl.to_tour();
+        for c in 0..n {
+            prop_assert_eq!(tl.next(c), flat.next(c));
+            prop_assert_eq!(tl.prev(c), flat.prev(c));
+        }
+        for (x, y, z) in probes {
+            let (a, b, c) = (x as usize % n, y as usize % n, z as usize % n);
+            prop_assert_eq!(tl.between(a, b, c), flat.between(a, b, c));
+        }
+    }
+}
+
+/// Conversion round-trips for every construction size.
+#[test]
+fn conversion_roundtrips() {
+    use rand::{rngs::SmallRng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(9);
+    for n in [3usize, 4, 8, 9, 64, 1000, 4097] {
+        let t = Tour::random(n, &mut rng);
+        let tl = TwoLevelList::from_tour(&t);
+        assert!(tl.check_invariants(), "n={n}");
+        assert_eq!(tl.to_order(), t.order(), "n={n}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Large-instance workflow: the pla33810/pla85900-class sizes of the
+//! paper's testbed need the two-level tour list (O(√n) flips). This
+//! example optimizes a 50k-city instance with candidate-list 2-opt on
+//! the two-level structure — a size where array-tour reversals would
+//! dominate the runtime.
+//!
+//! ```text
+//! cargo run --release --example large_instance [n]
+//! ```
+
+use dist_clk::lk::construct::space_filling;
+use dist_clk::lk::two_opt_tl::two_opt_tl;
+use dist_clk::tsp_core::{generate, NeighborLists, TwoLevelList};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    println!("generating a {n}-city pcb-like instance…");
+    let inst = generate::pcb_like(n, 3);
+
+    let t = std::time::Instant::now();
+    let neighbors = NeighborLists::build(&inst, 8);
+    println!("candidate lists built in {:.2}s", t.elapsed().as_secs_f64());
+
+    let t = std::time::Instant::now();
+    let start = space_filling(&inst);
+    let start_len = start.length(&inst);
+    println!(
+        "space-filling start: {start_len} in {:.2}s",
+        t.elapsed().as_secs_f64()
+    );
+
+    let mut tl = TwoLevelList::from_tour(&start);
+    let t = std::time::Instant::now();
+    let gain = two_opt_tl(&inst, &neighbors, &mut tl);
+    let secs = t.elapsed().as_secs_f64();
+    let final_len = start_len - gain;
+    println!(
+        "two-level 2-opt: {final_len} ({:.2}% better) in {:.2}s, {} segments",
+        gain as f64 / start_len as f64 * 100.0,
+        secs,
+        tl.segment_count()
+    );
+    debug_assert_eq!(tl.to_tour().length(&inst), final_len);
+}

@@ -1,0 +1,50 @@
+//! TSPLIB round-trip: write an instance to the TSPLIB format, read it
+//! back, solve it, and emit a `.tour` file — the workflow for running
+//! this library on the real paper testbed when the TSPLIB files are
+//! available.
+//!
+//! ```text
+//! cargo run --release --example tsplib_io [path/to/instance.tsp]
+//! ```
+
+use dist_clk::lk::{Budget, ChainedLk, ChainedLkConfig};
+use dist_clk::tsp_core::{generate, tsplib, NeighborLists};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let inst = match &arg {
+        Some(path) => {
+            println!("reading {path}…");
+            tsplib::read_instance(path).expect("parse TSPLIB instance")
+        }
+        None => {
+            // No file supplied: demonstrate the round-trip on a
+            // generated instance.
+            let original = generate::clustered_dimacs(500, 9);
+            let text = tsplib::write_instance(&original);
+            let dir = std::env::temp_dir().join("dist_clk_example");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("demo.tsp");
+            std::fs::write(&path, &text).unwrap();
+            println!("wrote {} ({} bytes)", path.display(), text.len());
+            tsplib::read_instance(&path).expect("re-read")
+        }
+    };
+    println!("instance {} with {} cities", inst.name(), inst.len());
+
+    let neighbors = NeighborLists::build(&inst, 10);
+    let mut engine = ChainedLk::new(&inst, &neighbors, ChainedLkConfig::default());
+    let res = engine.run(&Budget::kicks(300));
+    println!("tour length {} after {} kicks", res.length, res.kicks);
+    if let Some(opt) = inst.known_optimum() {
+        println!(
+            "known optimum {opt}: excess {:.3}%",
+            (res.length - opt) as f64 / opt as f64 * 100.0
+        );
+    }
+
+    let tour_text = tsplib::write_tour(inst.name(), &res.tour);
+    let out = std::env::temp_dir().join("dist_clk_example.tour");
+    std::fs::write(&out, tour_text).unwrap();
+    println!("tour written to {}", out.display());
+}
