@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod faults;
 pub mod figure2;
 pub mod figure3;
 pub mod messages;
@@ -30,13 +31,14 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "variator" => variator::run(scale),
         "tune" => tune::run(scale),
         "ablation" => ablation::run(scale),
+        "faults" => faults::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// All experiment ids in suggested execution order.
-pub const ALL: [&str; 10] = [
+pub const ALL: [&str; 11] = [
     "table3", "table4", "table5", "table1", "table2", "figure2", "figure3", "messages",
-    "variator", "ablation",
+    "variator", "ablation", "faults",
 ];

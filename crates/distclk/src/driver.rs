@@ -1,5 +1,7 @@
 //! Drivers that schedule the node loop.
 
+use std::sync::Arc;
+
 use lk::Trace;
 use p2p::memory::{InMemoryNetwork, NetStats};
 use p2p::Transport;
@@ -26,7 +28,12 @@ pub struct DistResult {
 }
 
 impl DistResult {
-    fn assemble(inst: &Instance, mut nodes: Vec<NodeResult>, stats: &NetStats, secs: f64) -> Self {
+    fn assemble(
+        inst: &Instance,
+        mut nodes: Vec<NodeResult>,
+        messages: (u64, u64, u64),
+        secs: f64,
+    ) -> Self {
         nodes.sort_by_key(|n| n.id);
         let best = nodes
             .iter()
@@ -42,7 +49,7 @@ impl DistResult {
             best_tour,
             best_length,
             network_trace,
-            messages: stats.snapshot(),
+            messages,
             wall_seconds: secs,
             nodes,
         }
@@ -82,7 +89,7 @@ pub fn run_threads(inst: &Instance, neighbors: &NeighborLists, cfg: &DistConfig)
             .map(|h| h.join().expect("node thread panicked"))
             .collect()
     });
-    DistResult::assemble(inst, results, &stats, start.elapsed().as_secs_f64())
+    DistResult::assemble(inst, results, stats.snapshot(), start.elapsed().as_secs_f64())
 }
 
 /// Run the distributed algorithm in deterministic lockstep on the
@@ -109,13 +116,28 @@ pub fn run_threads(inst: &Instance, neighbors: &NeighborLists, cfg: &DistConfig)
 /// assert_eq!(result.best_tour.length(&inst), result.best_length);
 /// ```
 pub fn run_lockstep(inst: &Instance, neighbors: &NeighborLists, cfg: &DistConfig) -> DistResult {
-    let start = std::time::Instant::now();
     let (endpoints, stats) = InMemoryNetwork::build(cfg.nodes, cfg.topology);
-    let mut drivers: Vec<Option<NodeDriver<'_, p2p::memory::MemoryEndpoint>>> = endpoints
+    run_lockstep_over(inst, neighbors, cfg, endpoints, Some(stats))
+}
+
+/// [`run_lockstep`] over caller-supplied transports — e.g. in-memory
+/// endpoints wrapped in [`p2p::fault::FaultyTransport`] or
+/// [`p2p::delay::DelayedTransport`] for the robustness experiments.
+/// Pass the network's [`NetStats`] handle to populate the message
+/// counters of the result (zeros otherwise).
+pub fn run_lockstep_over<T: Transport>(
+    inst: &Instance,
+    neighbors: &NeighborLists,
+    cfg: &DistConfig,
+    transports: Vec<T>,
+    stats: Option<Arc<NetStats>>,
+) -> DistResult {
+    let start = std::time::Instant::now();
+    let mut drivers: Vec<Option<NodeDriver<'_, T>>> = transports
         .into_iter()
         .map(|ep| Some(NodeDriver::new(inst, neighbors, cfg, ep)))
         .collect();
-    let mut results: Vec<NodeResult> = Vec::with_capacity(cfg.nodes);
+    let mut results: Vec<NodeResult> = Vec::with_capacity(drivers.len());
     loop {
         let mut any_live = false;
         for slot in drivers.iter_mut() {
@@ -134,7 +156,8 @@ pub fn run_lockstep(inst: &Instance, neighbors: &NeighborLists, cfg: &DistConfig
     for slot in drivers.into_iter().flatten() {
         results.push(slot.finish());
     }
-    DistResult::assemble(inst, results, &stats, start.elapsed().as_secs_f64())
+    let messages = stats.map_or((0, 0, 0), |s| s.snapshot());
+    DistResult::assemble(inst, results, messages, start.elapsed().as_secs_f64())
 }
 
 /// Run the distributed algorithm over pre-built transports (e.g. the

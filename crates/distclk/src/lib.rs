@@ -33,6 +33,6 @@ pub mod driver;
 pub mod node;
 pub mod perturb;
 
-pub use driver::{run_lockstep, run_threads, DistResult};
+pub use driver::{run_lockstep, run_lockstep_over, run_threads, DistResult};
 pub use node::{DistConfig, NodeDriver, NodeEvent, NodeResult};
 pub use perturb::{PerturbAction, Perturbator};

@@ -101,6 +101,10 @@ pub struct NodeResult {
     pub broadcasts: u64,
     /// Tour messages received.
     pub received: u64,
+    /// Received tours rejected by validation (wrong city count, not a
+    /// permutation, or a claimed length that misstates the recomputed
+    /// one on a corrupted order).
+    pub rejected: u64,
     /// Wall time consumed.
     pub seconds: f64,
     /// Best-so-far trace (time axis = this node's clock).
@@ -128,6 +132,7 @@ pub struct NodeDriver<'a, T: Transport> {
     clk_calls: u64,
     broadcasts: u64,
     received: u64,
+    rejected: u64,
     last_strength: u32,
     terminated: bool,
 
@@ -165,12 +170,11 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
 
         let mut trace = Trace::new();
         trace.record(watch.secs(), 0, len);
-        let mut events = Vec::new();
-        events.push(NodeEvent::Improved {
+        let events = vec![NodeEvent::Improved {
             secs: watch.secs(),
             length: len,
             local: true,
-        });
+        }];
 
         NodeDriver {
             id,
@@ -188,6 +192,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             clk_calls: 1,
             broadcasts: 0,
             received: 0,
+            rejected: 0,
             last_strength: 1,
             terminated: false,
             trace,
@@ -266,8 +271,13 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         }
         let s_len = self.clk_call(&mut s);
 
-        // Merge in everything received meanwhile.
-        let mut best_received: Option<(i64, Vec<u32>, NodeId)> = None;
+        // Merge in everything received meanwhile. Received tours are
+        // untrusted input: the order must be a permutation of the
+        // instance's cities and the sender-claimed length must match
+        // the locally recomputed one — anything else is dropped so a
+        // corrupted frame can never poison `best_len` or panic the
+        // node (and a bogus length is never rebroadcast).
+        let mut best_received: Option<(i64, Tour, NodeId)> = None;
         for msg in self.transport.drain() {
             match msg {
                 Message::TourFound {
@@ -276,8 +286,16 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                     order,
                 } => {
                     self.received += 1;
-                    if best_received.as_ref().map_or(true, |(l, _, _)| length < *l) {
-                        best_received = Some((length, order, from));
+                    match self.validate_received(length, order) {
+                        Some((true_len, tour)) => {
+                            if best_received
+                                .as_ref()
+                                .is_none_or(|(l, _, _)| true_len < *l)
+                            {
+                                best_received = Some((true_len, tour, from));
+                            }
+                        }
+                        None => self.rejected += 1,
                     }
                 }
                 Message::OptimumFound { from, .. } => {
@@ -343,10 +361,10 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                 }
             }
             Source::Received => {
-                let (len, order, from) = best_received.expect("source=Received implies Some");
+                let (len, tour, from) = best_received.expect("source=Received implies Some");
                 self.perturb.record_improvement();
                 self.reset_strength_event();
-                self.best_tour = Tour::from_order(order);
+                self.best_tour = tour;
                 self.best_len = len;
                 self.trace.record(self.watch.secs(), self.clk_calls, len);
                 self.events.push(NodeEvent::Improved {
@@ -399,6 +417,25 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         true
     }
 
+    /// Validate one received tour against the local instance: right
+    /// city count, a real permutation, and a truthful length claim.
+    /// Returns the recomputed length and the tour, or `None` when the
+    /// message is malformed (the caller counts it as rejected).
+    fn validate_received(&self, claimed: i64, order: Vec<u32>) -> Option<(i64, Tour)> {
+        let inst = self.engine.instance();
+        if order.len() != inst.len() {
+            return None;
+        }
+        let tour = Tour::try_from_order(order).ok()?;
+        let true_len = tour.length(inst);
+        if true_len != claimed {
+            // A mismatched claim means the frame (length or order) was
+            // corrupted in flight; don't trust any of it.
+            return None;
+        }
+        Some((true_len, tour))
+    }
+
     /// Broadcast the optimum-found notification and terminate.
     fn announce_optimum(&mut self) {
         self.events.push(NodeEvent::FoundOptimum {
@@ -439,6 +476,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             clk_calls: self.clk_calls,
             broadcasts: self.broadcasts,
             received: self.received,
+            rejected: self.rejected,
             seconds: self.watch.secs(),
             trace: self.trace,
             events: self.events,
@@ -485,6 +523,64 @@ mod tests {
 
     #[test]
     fn received_better_tour_is_adopted_not_rebroadcast() {
+        // A grid large enough that node 1's single initial LK pass does
+        // not land on the known optimum; node 0 then sends the optimal
+        // boustrophedon tour with its honest length.
+        let inst = generate::grid_known_optimum(14, 14, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(2, Topology::Ring);
+        let ep1 = eps.remove(1);
+        let mut ep0 = eps.remove(0);
+
+        let mut cfg = DistConfig {
+            nodes: 2,
+            topology: Topology::Ring,
+            budget: Budget::kicks(3),
+            clk_kicks_per_call: 0,
+            ..Default::default()
+        };
+        // Weaken local search: the test exercises adoption of a better
+        // *received* tour, so node 1 must not solve the grid by itself.
+        cfg.clk.lk = lk::LkConfig {
+            max_depth: 2,
+            breadth: vec![1],
+        };
+        cfg.clk.use_or_opt = false;
+        let mut node1 = NodeDriver::new(&inst, &nl, &cfg, ep1);
+        let opt_tour = generate::grid_optimal_tour(14, 14);
+        let opt_len = opt_tour.length(&inst);
+        assert_eq!(Some(opt_len), inst.known_optimum());
+        assert!(
+            node1.best_length() > opt_len,
+            "node 1 found the optimum locally; pick a larger grid"
+        );
+        use p2p::Transport as _;
+        ep0.send(
+            1,
+            Message::TourFound {
+                from: 0,
+                length: opt_len,
+                order: opt_tour.order().to_vec(),
+            },
+        )
+        .unwrap();
+        node1.step();
+        assert_eq!(node1.best_length(), opt_len);
+        // It was received, not locally found: node 1 must not rebroadcast.
+        let res = node1.finish();
+        assert!(res
+            .events
+            .iter()
+            .any(|e| matches!(e, NodeEvent::Improved { local: false, .. })));
+        assert_eq!(res.broadcasts, 0);
+        assert_eq!(res.rejected, 0);
+        assert!(ep0
+            .try_recv()
+            .is_none_or(|m| !matches!(m, Message::TourFound { .. })));
+    }
+
+    #[test]
+    fn malformed_received_tours_rejected_without_changing_best() {
         let inst = generate::uniform(60, 10_000.0, 202);
         let nl = NeighborLists::build(&inst, 8);
         let (mut eps, _) = InMemoryNetwork::build(2, Topology::Ring);
@@ -494,32 +590,59 @@ mod tests {
         let cfg = DistConfig {
             nodes: 2,
             topology: Topology::Ring,
-            budget: Budget::kicks(3),
+            budget: Budget::kicks(10),
             clk_kicks_per_call: 0,
             ..Default::default()
         };
         let mut node1 = NodeDriver::new(&inst, &nl, &cfg, ep1);
-        // Feed node 1 an impossibly good tour from "node 0".
+        let before = node1.best_length();
         use p2p::Transport as _;
+        // Wrong city count (would have panicked Tour::from_order).
         ep0.send(
             1,
             Message::TourFound {
                 from: 0,
-                length: 1, // absurdly good; must be adopted
+                length: 1,
+                order: (0..40).collect(),
+            },
+        )
+        .unwrap();
+        // Not a permutation.
+        ep0.send(
+            1,
+            Message::TourFound {
+                from: 0,
+                length: 1,
+                order: vec![0; 60],
+            },
+        )
+        .unwrap();
+        // Valid permutation but a lying length claim (corrupted length
+        // field): must not be adopted at face value.
+        ep0.send(
+            1,
+            Message::TourFound {
+                from: 0,
+                length: 1,
                 order: Tour::identity(60).order().to_vec(),
             },
         )
         .unwrap();
         node1.step();
-        assert_eq!(node1.best_length(), 1);
-        // It was received, not locally found: node 1 must not rebroadcast.
+        assert!(
+            node1.best_length() <= before,
+            "best_len got worse after malformed input"
+        );
+        assert_ne!(node1.best_length(), 1, "adopted a lying length claim");
         let res = node1.finish();
-        assert!(res
-            .events
-            .iter()
-            .any(|e| matches!(e, NodeEvent::Improved { local: false, .. })));
-        assert_eq!(res.broadcasts, 0);
-        assert!(ep0.try_recv().map_or(true, |m| matches!(m, Message::Leave { .. })));
+        assert_eq!(res.rejected, 3, "all three malformed tours must be rejected");
+        assert!(
+            !res
+                .events
+                .iter()
+                .any(|e| matches!(e, NodeEvent::Improved { local: false, .. })),
+            "a malformed tour was recorded as a received improvement"
+        );
     }
 
     #[test]

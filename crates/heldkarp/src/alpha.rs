@@ -111,7 +111,7 @@ pub fn alpha_lists_from_tree(
                     e = edge_next[e as usize];
                 }
             }
-            for j in 0..n {
+            for (j, &bj) in beta.iter().enumerate().take(n) {
                 if j == i {
                     continue;
                 }
@@ -119,7 +119,7 @@ pub fn alpha_lists_from_tree(
                 let a = if j == s {
                     (c - c2).max(0)
                 } else {
-                    (c - beta[j]).max(0)
+                    (c - bj).max(0)
                 };
                 cand.push((a, c, j as u32));
             }

@@ -165,7 +165,7 @@ mod tests {
             })
             .collect();
         let inst = tsp_core::Instance::new("circle", pts, tsp_core::Metric::Euc2d);
-        let t = OneTree::build(&inst, &vec![0; 12], 0);
+        let t = OneTree::build(&inst, &[0; 12], 0);
         assert!(t.is_tour());
     }
 }

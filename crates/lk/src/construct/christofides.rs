@@ -36,7 +36,7 @@ pub fn christofides(inst: &Instance) -> Tour {
     let mut odd: Vec<u32> = (0..n as u32)
         .filter(|&v| adj[v as usize].len() % 2 == 1)
         .collect();
-    debug_assert!(odd.len() % 2 == 0, "handshake lemma");
+    debug_assert!(odd.len().is_multiple_of(2), "handshake lemma");
 
     // Greedy matching: repeatedly pair the globally closest odd pair.
     // O(m² log m) on the odd set via a sorted edge list.

@@ -73,8 +73,8 @@ pub fn greedy_matching(inst: &Instance) -> Tour {
         let rv = find(&mut parent, v);
         let mut best = usize::MAX;
         let mut best_d = i64::MAX;
-        for c in 0..n {
-            if c != v && degree[c] < 2 && find(&mut parent, c) != rv {
+        for (c, &deg_c) in degree.iter().enumerate() {
+            if c != v && deg_c < 2 && find(&mut parent, c) != rv {
                 let d = inst.dist(v, c);
                 if d < best_d {
                     best_d = d;

@@ -50,7 +50,9 @@ pub fn construct<R: Rng>(inst: &Instance, which: Construction, rng: &mut R) -> T
         Construction::SpaceFilling if geometric => space_filling(inst),
         Construction::Christofides if geometric => christofides(inst),
         Construction::Random => Tour::random(inst.len(), rng),
-        Construction::NearestNeighbor | _ => {
+        // NearestNeighbor, and the fallback for geometric-only
+        // constructions on non-geometric instances.
+        _ => {
             let start = rng.gen_range(0..inst.len());
             nearest_neighbor(inst, start)
         }

@@ -29,8 +29,8 @@ pub fn nearest_neighbor(inst: &Instance, start: usize) -> Tour {
         for _ in 1..n {
             let mut best = usize::MAX;
             let mut best_d = i64::MAX;
-            for c in 0..n {
-                if !visited[c] {
+            for (c, &seen) in visited.iter().enumerate() {
+                if !seen {
                     let d = inst.dist(cur, c);
                     if d < best_d {
                         best_d = d;

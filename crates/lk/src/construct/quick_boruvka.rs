@@ -104,8 +104,8 @@ pub fn quick_boruvka(inst: &Instance) -> Tour {
         let root_v = uf.find(v);
         let mut best = usize::MAX;
         let mut best_d = i64::MAX;
-        for c in 0..n {
-            if c != v && degree[c] < 2 && uf.find(c) != root_v {
+        for (c, &deg_c) in degree.iter().enumerate() {
+            if c != v && deg_c < 2 && uf.find(c) != root_v {
                 let d = inst.dist(v, c);
                 if d < best_d {
                     best_d = d;

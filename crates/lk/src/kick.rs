@@ -97,8 +97,8 @@ pub fn select_kick_cities<R: Rng>(
                     return None;
                 }
                 let mut cs = [v, 0, 0, 0];
-                for slot in 1..4 {
-                    cs[slot] = pool[rng.gen_range(0..k)] as usize;
+                for c in cs.iter_mut().skip(1) {
+                    *c = pool[rng.gen_range(0..k)] as usize;
                 }
                 cs
             }
@@ -122,21 +122,21 @@ pub fn select_kick_cities<R: Rng>(
                     continue;
                 }
                 let mut cs = [v, 0, 0, 0];
-                for slot in 1..4 {
-                    cs[slot] = six[rng.gen_range(0..six.len())].1;
+                for c in cs.iter_mut().skip(1) {
+                    *c = six[rng.gen_range(0..six.len())].1;
                 }
                 cs
             }
             KickStrategy::RandomWalk(len) => {
                 let v = rng.gen_range(0..n);
                 let mut cs = [v, 0, 0, 0];
-                for slot in 1..4 {
+                for c in cs.iter_mut().skip(1) {
                     let mut cur = v;
                     for _ in 0..len {
                         let nb = neighbors.of(cur);
                         cur = nb[rng.gen_range(0..nb.len())] as usize;
                     }
-                    cs[slot] = cur;
+                    *c = cur;
                 }
                 cs
             }

@@ -205,7 +205,7 @@ mod tests {
         let lvl = coarsen(&inst, &mut rng);
         assert!(lvl.inst.len() <= 101 && lvl.inst.len() >= 100);
         // Every fine node appears in exactly one group.
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for &(a, b) in &lvl.groups {
             assert!(!seen[a as usize]);
             seen[a as usize] = true;

@@ -30,7 +30,7 @@ fn try_segment(opt: &mut Optimizer<'_>, tour: &mut Tour, s: usize, len: usize) -
     if p == e || q == s {
         return 0; // segment wraps the whole tour
     }
-    let removed = opt.dist(p, s) + opt.dist(e, q) + 0;
+    let removed = opt.dist(p, s) + opt.dist(e, q);
     let bridge = opt.dist(p, q);
 
     // Candidate destinations: after city c (so the segment sits between

@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 
 use crate::message::NodeId;
+use crate::tcp::TcpConfig;
 use crate::topology::Topology;
 use crate::NetError;
 
@@ -76,6 +77,11 @@ fn serve_one(
     expected: usize,
     topology: Topology,
 ) -> Result<(), NetError> {
+    // Bound the request read: a connector that never sends its JOIN
+    // line must not wedge the hub for everyone else.
+    stream
+        .set_read_timeout(Some(TcpConfig::default().handshake_timeout))
+        .ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -118,9 +124,40 @@ pub struct JoinInfo {
 }
 
 /// Join a network: contact the hub, announce our listen address, and
-/// parse the assigned position and neighbor list.
+/// parse the assigned position and neighbor list. Uses the default
+/// timeout/retry policy (see [`join_via_hub_with`]).
 pub fn join_via_hub(hub: SocketAddr, listen: SocketAddr) -> Result<JoinInfo, NetError> {
-    let mut stream = TcpStream::connect(hub)?;
+    join_via_hub_with(hub, listen, &TcpConfig::default())
+}
+
+/// [`join_via_hub`] with an explicit timeout/retry policy: every
+/// attempt bounds the connect, the request write, and the reply read;
+/// failed attempts are retried with exponential backoff (the hub may
+/// simply not be up yet during cluster bring-up).
+pub fn join_via_hub_with(
+    hub: SocketAddr,
+    listen: SocketAddr,
+    cfg: &TcpConfig,
+) -> Result<JoinInfo, NetError> {
+    let mut backoff = cfg.backoff_base;
+    let mut last_err = NetError::Closed;
+    for attempt in 0..=cfg.connect_retries {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(cfg.backoff_max);
+        }
+        match join_once(hub, listen, cfg) {
+            Ok(info) => return Ok(info),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+fn join_once(hub: SocketAddr, listen: SocketAddr, cfg: &TcpConfig) -> Result<JoinInfo, NetError> {
+    let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+    stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+    stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
     writeln!(stream, "JOIN {listen}")?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
@@ -225,6 +262,42 @@ mod tests {
         let ids: Vec<NodeId> = infos[3].neighbors.iter().map(|&(i, _)| i).collect();
         assert_eq!(ids.len(), 2);
         assert!(ids.contains(&2) && ids.contains(&0));
+    }
+
+    #[test]
+    fn join_dead_hub_fails_within_retry_budget() {
+        // Grab a port that was live and is now certainly dead.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let cfg = TcpConfig::fast_fail();
+        let start = std::time::Instant::now();
+        let res = join_via_hub_with(dead, "127.0.0.1:40000".parse().unwrap(), &cfg);
+        assert!(res.is_err(), "joined a dead hub");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "dead-hub join took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn silent_connector_does_not_wedge_hub() {
+        let hub = Hub::start("127.0.0.1:0", 2, Topology::Ring).unwrap();
+        let addr = hub.addr();
+        // Connect and say nothing: serve_one must time out and move on.
+        let _silent = TcpStream::connect(addr).unwrap();
+        // Wait longer than the hub's handshake timeout so the joins
+        // don't race the silent connector's eviction.
+        let cfg = TcpConfig {
+            handshake_timeout: std::time::Duration::from_secs(10),
+            ..Default::default()
+        };
+        let a = join_via_hub_with(addr, "127.0.0.1:40010".parse().unwrap(), &cfg).unwrap();
+        let b = join_via_hub_with(addr, "127.0.0.1:40011".parse().unwrap(), &cfg).unwrap();
+        assert_eq!((a.id, b.id), (0, 1));
+        hub.join();
     }
 
     #[test]

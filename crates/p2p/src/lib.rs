@@ -21,6 +21,7 @@
 
 pub mod codec;
 pub mod delay;
+pub mod fault;
 pub mod hub;
 pub mod memory;
 pub mod message;
@@ -28,8 +29,10 @@ pub mod tcp;
 pub mod topology;
 pub mod transport;
 
+pub use fault::{FaultConfig, FaultyTransport};
 pub use memory::InMemoryNetwork;
 pub use message::{Message, NodeId};
+pub use tcp::TcpConfig;
 pub use topology::Topology;
 pub use transport::Transport;
 
@@ -42,6 +45,9 @@ pub enum NetError {
     UnknownPeer(NodeId),
     /// A frame failed to decode (corrupt or truncated).
     Codec(String),
+    /// The peer's bounded outbound queue is full (the peer is stalled
+    /// or too slow); the message was not enqueued.
+    Backpressure(NodeId),
     /// The transport was shut down.
     Closed,
 }
@@ -52,6 +58,7 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "i/o error: {e}"),
             NetError::UnknownPeer(id) => write!(f, "unknown peer {id}"),
             NetError::Codec(msg) => write!(f, "codec error: {msg}"),
+            NetError::Backpressure(id) => write!(f, "outbound queue to peer {id} full"),
             NetError::Closed => write!(f, "transport closed"),
         }
     }

@@ -160,10 +160,13 @@ mod tests {
     #[test]
     fn drain_collects_everything() {
         let (mut eps, _) = InMemoryNetwork::build(4, Topology::Complete);
-        for from in 1..4 {
-            let m = Message::OptimumFound { from, length: 7 };
+        for ep in eps.iter_mut().skip(1) {
+            let m = Message::OptimumFound {
+                from: ep.node_id(),
+                length: 7,
+            };
             // Send directly to node 0.
-            eps[from].send(0, m).unwrap();
+            ep.send(0, m).unwrap();
         }
         let got = eps[0].drain();
         assert_eq!(got.len(), 3);

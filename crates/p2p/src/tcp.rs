@@ -7,15 +7,31 @@
 //! "if the contacted node did not know the contacting node before, the
 //! contacting node is added to the contacted node's neighbor list"
 //! (§2.2).
+//!
+//! The endpoint is hardened against misbehaving links and peers (see
+//! DESIGN.md §6, "Fault model"):
+//!
+//! - `connect_to` uses a connect timeout and bounded retries with
+//!   exponential backoff;
+//! - the id handshake on both sides is bounded by a timeout, so a
+//!   silent connector cannot wedge the accept path (handshakes run on
+//!   their own short-lived threads);
+//! - every peer has a bounded outbound queue drained by a dedicated
+//!   writer thread, so `send` never performs socket I/O — a stalled
+//!   peer fills its own queue ([`crate::NetError::Backpressure`])
+//!   without blocking sends to anyone else;
+//! - `shutdown` closes all sockets and joins the accept, reader, and
+//!   writer threads within bounded time.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 
 use crate::codec::{read_frame, write_frame};
@@ -23,15 +39,79 @@ use crate::message::{Message, NodeId};
 use crate::transport::Transport;
 use crate::NetError;
 
+/// Timeouts and retry policy of a [`TcpEndpoint`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Timeout for establishing an outbound connection.
+    pub connect_timeout: Duration,
+    /// Timeout for the 8-byte id handshake (both directions).
+    pub handshake_timeout: Duration,
+    /// Timeout for one frame write; a peer that stalls longer is
+    /// dropped.
+    pub write_timeout: Duration,
+    /// Extra connection attempts after the first failure.
+    pub connect_retries: u32,
+    /// Initial backoff between attempts (doubles per retry).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Per-peer outbound queue capacity; a full queue makes `send`
+    /// return [`NetError::Backpressure`] instead of blocking.
+    pub outbound_queue: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(10),
+            connect_retries: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(1),
+            outbound_queue: 256,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A tight-deadline profile for tests: small timeouts, one retry.
+    pub fn fast_fail() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(200),
+            handshake_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(500),
+            connect_retries: 1,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(50),
+            ..Default::default()
+        }
+    }
+}
+
+/// A live peer link: the queue feeding its writer thread and the
+/// socket handle used to force-close the link.
+struct Peer {
+    tx: Sender<Message>,
+    stream: TcpStream,
+    writer: JoinHandle<()>,
+}
+
 /// Shared mutable state of one TCP endpoint.
 struct Shared {
-    /// Write halves, keyed by peer id.
-    peers: Mutex<HashMap<NodeId, TcpStream>>,
+    /// Live peer links, keyed by peer id.
+    peers: Mutex<HashMap<NodeId, Peer>>,
     /// Known neighbor ids (order = connection order).
     neighbors: RwLock<Vec<NodeId>>,
-    /// Set on shutdown; reader and accept threads exit.
+    /// Set on shutdown; accept, handshake, reader, and writer threads
+    /// exit.
     shutdown: AtomicBool,
     inbox_tx: Sender<Message>,
+    /// Reader threads, joined on shutdown.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// In-flight incoming handshakes (bounded by `handshake_timeout`).
+    handshakes: Mutex<Vec<JoinHandle<()>>>,
+    cfg: TcpConfig,
 }
 
 /// A TCP-backed [`Transport`].
@@ -45,8 +125,13 @@ pub struct TcpEndpoint {
 
 impl TcpEndpoint {
     /// Bind a listener on `addr` (use port 0 for an ephemeral port) and
-    /// start accepting peer connections.
+    /// start accepting peer connections, with default timeouts.
     pub fn bind(id: NodeId, addr: &str) -> Result<Self, NetError> {
+        Self::bind_with(id, addr, TcpConfig::default())
+    }
+
+    /// Bind with an explicit timeout/retry configuration.
+    pub fn bind_with(id: NodeId, addr: &str, cfg: TcpConfig) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let listen_addr = listener.local_addr()?;
         let (inbox_tx, inbox_rx) = unbounded();
@@ -55,6 +140,9 @@ impl TcpEndpoint {
             neighbors: RwLock::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             inbox_tx,
+            readers: Mutex::new(Vec::new()),
+            handshakes: Mutex::new(Vec::new()),
+            cfg,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -83,28 +171,54 @@ impl TcpEndpoint {
         self.id = id;
     }
 
-    /// Open a link to a peer (the hub told us its id and address).
+    /// Open a link to a peer (the hub told us its id and address),
+    /// retrying with exponential backoff on failure.
     pub fn connect_to(&self, peer: NodeId, addr: SocketAddr) -> Result<(), NetError> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        // Identify ourselves so the peer registers the reverse edge.
-        stream.write_all(&(self.id as u64).to_le_bytes())?;
-        stream.flush()?;
-        register_peer(&self.shared, peer, stream);
-        Ok(())
+        let cfg = &self.shared.cfg;
+        let mut backoff = cfg.backoff_base;
+        let mut last_err = NetError::Closed;
+        for attempt in 0..=cfg.connect_retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.backoff_max);
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(NetError::Closed);
+            }
+            match dial(self.id, addr, cfg) {
+                Ok(stream) => {
+                    register_peer(&self.shared, peer, stream);
+                    return Ok(());
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 
-    /// Stop all threads and drop connections.
+    /// Stop all threads and drop connections. Bounded even with
+    /// stalled peers: sockets are force-closed, which unblocks any
+    /// reader or writer parked in the kernel.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.listen_addr);
+        let _ = TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(500));
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        let mut peers = self.shared.peers.lock();
-        for (_, s) in peers.drain() {
-            let _ = s.shutdown(std::net::Shutdown::Both);
+        // Close every socket first (unblocks reads and stalled writes),
+        // then drop the senders (stops idle writers) and join.
+        let peers: Vec<Peer> = self.shared.peers.lock().drain().map(|(_, p)| p).collect();
+        for p in &peers {
+            let _ = p.stream.shutdown(Shutdown::Both);
+        }
+        for p in peers {
+            drop(p.tx);
+            let _ = p.writer.join();
+        }
+        let readers = std::mem::take(&mut *self.shared.readers.lock());
+        for h in readers {
+            let _ = h.join();
         }
     }
 }
@@ -115,11 +229,44 @@ impl Drop for TcpEndpoint {
     }
 }
 
-/// Register a connected peer: store the write half, spawn a reader for
-/// the read half, add to the neighbor list if new.
+/// Establish one outbound connection and run the id handshake, both
+/// under timeouts.
+fn dial(id: NodeId, addr: SocketAddr, cfg: &TcpConfig) -> Result<TcpStream, NetError> {
+    let mut stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+    stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+    // Identify ourselves so the peer registers the reverse edge.
+    stream.write_all(&(id as u64).to_le_bytes())?;
+    stream.flush()?;
+    stream.set_write_timeout(None).ok();
+    Ok(stream)
+}
+
+/// Register a connected peer: spawn its writer (draining a bounded
+/// queue) and reader threads, add to the neighbor list if new. An
+/// existing link to the same peer is force-closed and replaced.
 fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
     let read_half = stream.try_clone().expect("clone tcp stream");
-    shared.peers.lock().insert(peer, stream);
+    let write_half = stream.try_clone().expect("clone tcp stream");
+    write_half
+        .set_write_timeout(Some(shared.cfg.write_timeout))
+        .ok();
+    let (tx, rx) = bounded(shared.cfg.outbound_queue);
+    let writer_shared = Arc::clone(shared);
+    let writer = std::thread::Builder::new()
+        .name(format!("p2p-write-{peer}"))
+        .spawn(move || writer_loop(write_half, rx, peer, writer_shared))
+        .expect("spawn writer thread");
+    if let Some(old) = shared.peers.lock().insert(
+        peer,
+        Peer {
+            tx,
+            stream,
+            writer,
+        },
+    ) {
+        let _ = old.stream.shutdown(Shutdown::Both);
+    }
     {
         let mut nb = shared.neighbors.write();
         if !nb.contains(&peer) {
@@ -127,29 +274,81 @@ fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
         }
     }
     let reader_shared = Arc::clone(shared);
-    std::thread::Builder::new()
+    let reader = std::thread::Builder::new()
         .name(format!("p2p-read-{peer}"))
         .spawn(move || reader_loop(read_half, peer, reader_shared))
         .expect("spawn reader thread");
+    shared.readers.lock().push(reader);
+}
+
+/// Forget a peer (connection error or departure). The socket is
+/// closed, which terminates its reader and writer threads.
+fn drop_peer(shared: &Shared, peer: NodeId) {
+    if let Some(p) = shared.peers.lock().remove(&peer) {
+        let _ = p.stream.shutdown(Shutdown::Both);
+    }
+    shared.neighbors.write().retain(|&n| n != peer);
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
-        let (mut stream, _) = match listener.accept() {
+        let (stream, _) = match listener.accept() {
             Ok(x) => x,
             Err(_) => break,
         };
         if shared.shutdown.load(Ordering::Acquire) {
+            // Don't leak the connection that raced shutdown.
+            let _ = stream.shutdown(Shutdown::Both);
             break;
         }
-        stream.set_nodelay(true).ok();
-        // First 8 bytes: the connecting peer's id.
-        let mut id_buf = [0u8; 8];
-        if stream.read_exact(&mut id_buf).is_err() {
-            continue;
+        // Handshake on its own thread with a read timeout: a silent
+        // connector can neither wedge this loop nor hang forever.
+        let hs_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("p2p-handshake".into())
+            .spawn(move || handshake_incoming(stream, hs_shared))
+            .expect("spawn handshake thread");
+        let mut hs = shared.handshakes.lock();
+        hs.retain(|h| !h.is_finished());
+        hs.push(handle);
+    }
+    let hs = std::mem::take(&mut *shared.handshakes.lock());
+    for h in hs {
+        let _ = h.join();
+    }
+}
+
+/// Accept-side id handshake; times out instead of blocking forever.
+fn handshake_incoming(mut stream: TcpStream, shared: Arc<Shared>) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(shared.cfg.handshake_timeout))
+        .ok();
+    // First 8 bytes: the connecting peer's id.
+    let mut id_buf = [0u8; 8];
+    if stream.read_exact(&mut id_buf).is_err() {
+        return; // silent or dead connector: discard
+    }
+    stream.set_read_timeout(None).ok();
+    if shared.shutdown.load(Ordering::Acquire) {
+        return;
+    }
+    let peer = u64::from_le_bytes(id_buf) as NodeId;
+    register_peer(&shared, peer, stream);
+}
+
+/// Drain one peer's outbound queue onto its socket. Exits when the
+/// queue disconnects (endpoint shutdown or peer dropped) or a write
+/// fails (stall past the write timeout, or connection loss).
+fn writer_loop(mut stream: TcpStream, rx: Receiver<Message>, peer: NodeId, shared: Arc<Shared>) {
+    while let Ok(msg) = rx.recv() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
         }
-        let peer = u64::from_le_bytes(id_buf) as NodeId;
-        register_peer(&shared, peer, stream);
+        if write_frame(&mut stream, &msg).is_err() {
+            drop_peer(&shared, peer);
+            break;
+        }
     }
 }
 
@@ -165,15 +364,13 @@ fn reader_loop(mut stream: TcpStream, peer: NodeId, shared: Arc<Shared>) {
                     break;
                 }
                 if leaving {
-                    shared.peers.lock().remove(&peer);
-                    shared.neighbors.write().retain(|&n| n != peer);
+                    drop_peer(&shared, peer);
                     break;
                 }
             }
             Err(_) => {
-                // Connection dropped: forget the peer.
-                shared.peers.lock().remove(&peer);
-                shared.neighbors.write().retain(|&n| n != peer);
+                // Connection dropped or corrupt stream: forget the peer.
+                drop_peer(&shared, peer);
                 break;
             }
         }
@@ -189,10 +386,23 @@ impl Transport for TcpEndpoint {
         self.shared.neighbors.read().clone()
     }
 
+    /// Enqueue for the peer's writer thread. Never performs socket
+    /// I/O and never blocks: a stalled peer surfaces as
+    /// [`NetError::Backpressure`] once its queue fills.
     fn send(&mut self, to: NodeId, msg: Message) -> Result<(), NetError> {
-        let mut peers = self.shared.peers.lock();
-        let stream = peers.get_mut(&to).ok_or(NetError::UnknownPeer(to))?;
-        write_frame(stream, &msg)
+        let tx = {
+            let peers = self.shared.peers.lock();
+            peers
+                .get(&to)
+                .ok_or(NetError::UnknownPeer(to))?
+                .tx
+                .clone()
+        };
+        match tx.try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(NetError::Backpressure(to)),
+            Err(TrySendError::Disconnected(_)) => Err(NetError::UnknownPeer(to)),
+        }
     }
 
     fn try_recv(&mut self) -> Option<Message> {
@@ -203,11 +413,11 @@ impl Transport for TcpEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     fn recv_with_timeout(ep: &mut TcpEndpoint, millis: u64) -> Option<Message> {
-        let deadline = std::time::Instant::now() + Duration::from_millis(millis);
-        while std::time::Instant::now() < deadline {
+        let deadline = Instant::now() + Duration::from_millis(millis);
+        while Instant::now() < deadline {
             if let Some(m) = ep.try_recv() {
                 return Some(m);
             }
@@ -216,16 +426,20 @@ mod tests {
         None
     }
 
+    fn wait_for_neighbors(ep: &TcpEndpoint, want: usize, millis: u64) {
+        let deadline = Instant::now() + Duration::from_millis(millis);
+        while ep.neighbors().len() < want && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
     #[test]
     fn two_nodes_exchange_tours() {
         let mut a = TcpEndpoint::bind(0, "127.0.0.1:0").unwrap();
         let mut b = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
         a.connect_to(1, b.listen_addr()).unwrap();
         // Wait for b to register the reverse edge.
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while b.neighbors().is_empty() && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        wait_for_neighbors(&b, 1, 2000);
         assert_eq!(b.neighbors(), vec![0]);
         assert_eq!(a.neighbors(), vec![1]);
 
@@ -248,15 +462,12 @@ mod tests {
         let mut a = TcpEndpoint::bind(0, "127.0.0.1:0").unwrap();
         let mut b = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
         a.connect_to(1, b.listen_addr()).unwrap();
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while b.neighbors().is_empty() && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        wait_for_neighbors(&b, 1, 2000);
         a.leave();
         let got = recv_with_timeout(&mut b, 2000);
         assert_eq!(got, Some(Message::Leave { from: 0 }));
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while !b.neighbors().is_empty() && std::time::Instant::now() < deadline {
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !b.neighbors().is_empty() && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert!(b.neighbors().is_empty());
@@ -267,5 +478,115 @@ mod tests {
         let mut a = TcpEndpoint::bind(0, "127.0.0.1:0").unwrap();
         let err = a.send(9, Message::Leave { from: 0 }).unwrap_err();
         assert!(matches!(err, NetError::UnknownPeer(9)));
+    }
+
+    /// Satellite bugfix test: connecting to a dead address fails
+    /// within the configured timeout/retry budget instead of hanging.
+    #[test]
+    fn connect_to_dead_address_fails_within_timeout() {
+        let a = TcpEndpoint::bind_with(0, "127.0.0.1:0", TcpConfig::fast_fail()).unwrap();
+        // Grab a port that was live and is now certainly dead.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let start = Instant::now();
+        let res = a.connect_to(7, dead);
+        assert!(res.is_err(), "connected to a dead address");
+        // fast_fail: 2 attempts x 200 ms connect timeout + 10 ms
+        // backoff, plus slack for a slow CI host.
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dead connect took {:?}",
+            start.elapsed()
+        );
+        assert!(a.neighbors().is_empty());
+    }
+
+    /// Satellite bugfix test: a connector that never sends its id no
+    /// longer wedges the accept path — later peers still get through.
+    #[test]
+    fn silent_connector_does_not_block_accepts() {
+        let mut b = TcpEndpoint::bind_with(1, "127.0.0.1:0", TcpConfig::fast_fail()).unwrap();
+        // A silent connection that never completes the handshake.
+        let _silent = TcpStream::connect(b.listen_addr()).unwrap();
+        // A real peer connecting right after must still be accepted.
+        let mut a = TcpEndpoint::bind_with(0, "127.0.0.1:0", TcpConfig::fast_fail()).unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        wait_for_neighbors(&b, 1, 2000);
+        assert_eq!(b.neighbors(), vec![0]);
+        a.send(1, Message::Leave { from: 0 }).unwrap();
+        assert_eq!(
+            recv_with_timeout(&mut b, 2000),
+            Some(Message::Leave { from: 0 })
+        );
+    }
+
+    /// A stalled peer (never reads, kernel buffers full) cannot block
+    /// sends to other peers, and shutdown still completes quickly.
+    #[test]
+    fn stalled_peer_does_not_block_other_sends_or_shutdown() {
+        let mut cfg = TcpConfig::fast_fail();
+        cfg.outbound_queue = 4;
+        let mut a = TcpEndpoint::bind_with(0, "127.0.0.1:0", cfg.clone()).unwrap();
+        let mut healthy = TcpEndpoint::bind_with(1, "127.0.0.1:0", cfg.clone()).unwrap();
+        a.connect_to(1, healthy.listen_addr()).unwrap();
+
+        // The "stalled" peer: accepts the connection, then never reads.
+        let stall_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stall_addr = stall_listener.local_addr().unwrap();
+        let stall_thread = std::thread::spawn(move || {
+            let (s, _) = stall_listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(3));
+            drop(s);
+        });
+        a.connect_to(2, stall_addr).unwrap();
+
+        // Flood the stalled peer with big frames until backpressure.
+        let big = Message::TourFound {
+            from: 0,
+            length: 1,
+            order: (0..200_000).collect(),
+        };
+        let mut saw_backpressure = false;
+        for _ in 0..64 {
+            match a.send(2, big.clone()) {
+                Err(NetError::Backpressure(2)) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(_) => break,
+                Ok(()) => {}
+            }
+        }
+        assert!(saw_backpressure, "queue to the stalled peer never filled");
+
+        // Sends to the healthy peer are instant despite the stall.
+        let start = Instant::now();
+        a.send(1, Message::OptimumFound { from: 0, length: 1 })
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert!(recv_with_timeout(&mut healthy, 2000).is_some());
+
+        // Shutdown joins every thread in bounded time.
+        let start = Instant::now();
+        a.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown took {:?} with a stalled peer",
+            start.elapsed()
+        );
+        let _ = stall_thread.join();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_bounded() {
+        let mut a = TcpEndpoint::bind(0, "127.0.0.1:0").unwrap();
+        let b = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        let start = Instant::now();
+        a.shutdown();
+        a.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 }

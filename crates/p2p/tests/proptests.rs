@@ -71,6 +71,48 @@ proptest! {
         // valid) some decode result — never a panic.
         let _ = read_frame(&mut cursor);
     }
+
+    /// A frame truncated anywhere — mid-prefix or mid-payload — is an
+    /// error, never a panic and never a bogus message.
+    #[test]
+    fn truncated_frames_error(msg in arb_message(), cut in any::<u64>()) {
+        let frame = encode(&msg).to_vec();
+        // Cut strictly inside the frame (a zero-length frame cannot
+        // happen: every message has at least a tag byte).
+        let keep = (cut % frame.len() as u64) as usize;
+        let mut cursor = std::io::Cursor::new(frame[..keep].to_vec());
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Corruption anywhere in the frame — prefix or payload — never
+    /// panics the framed reader (the wire parser handles every byte of
+    /// attacker/fault-controlled input).
+    #[test]
+    fn read_frame_survives_payload_corruption(
+        msg in arb_message(),
+        flip in any::<u64>(),
+        xor in 1u8..255,
+    ) {
+        let mut frame = encode(&msg).to_vec();
+        let at = (flip % frame.len() as u64) as usize;
+        frame[at] ^= xor;
+        let mut cursor = std::io::Cursor::new(frame);
+        let _ = read_frame(&mut cursor);
+    }
+
+    /// decode is total on truncations of valid payloads: every prefix
+    /// of a well-formed payload either errors or (for the full length)
+    /// round-trips — no panic on any split point.
+    #[test]
+    fn decode_total_on_payload_prefixes(msg in arb_message(), cut in any::<u64>()) {
+        let frame = encode(&msg).to_vec();
+        let payload = &frame[4..];
+        let keep = (cut % (payload.len() as u64 + 1)) as usize;
+        match decode(&payload[..keep]) {
+            Ok(back) => prop_assert_eq!(back, msg),
+            Err(_) => prop_assert!(keep < payload.len()),
+        }
+    }
 }
 
 /// Topology neighbor lists are always symmetric and self-loop-free.

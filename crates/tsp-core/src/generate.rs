@@ -83,7 +83,7 @@ pub fn clustered_dimacs(n: usize, seed: u64) -> Instance {
 /// Panics unless `w ≥ 2`, `h ≥ 2`, and `w*h` is even.
 pub fn grid_known_optimum(w: usize, h: usize, spacing: f64) -> Instance {
     assert!(w >= 2 && h >= 2, "grid must be at least 2x2");
-    assert!(w * h % 2 == 0, "odd grids have no unit-step Hamiltonian cycle");
+    assert!((w * h).is_multiple_of(2), "odd grids have no unit-step Hamiltonian cycle");
     let mut pts = Vec::with_capacity(w * h);
     for j in 0..h {
         for i in 0..w {
@@ -100,10 +100,10 @@ pub fn grid_known_optimum(w: usize, h: usize, spacing: f64) -> Instance {
 /// Requires `w` even *or* `h` even; the construction snakes along rows
 /// and returns along the first column.
 pub fn grid_optimal_tour(w: usize, h: usize) -> crate::tour::Tour {
-    assert!(w >= 2 && h >= 2 && (w % 2 == 0 || h % 2 == 0));
+    assert!(w >= 2 && h >= 2 && (w.is_multiple_of(2) || h.is_multiple_of(2)));
     let idx = |i: usize, j: usize| (j * w + i) as u32;
     let mut order = Vec::with_capacity(w * h);
-    if h % 2 == 0 {
+    if h.is_multiple_of(2) {
         // Snake over columns 1..w within each row pair, return down column 0.
         for j in 0..h {
             if j % 2 == 0 {

@@ -135,7 +135,7 @@ impl KdTree {
                     continue;
                 }
                 let d = self.pts[c].sq_dist(&q);
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     *best = Some((d, c));
                 }
             }
@@ -145,7 +145,7 @@ impl KdTree {
         let (near, far) = if qv <= n.split { (n.lo, n.hi) } else { (n.hi, n.lo) };
         self.search(near, q, best, skip);
         let plane = qv - n.split;
-        if best.map_or(true, |(bd, _)| plane * plane < bd) {
+        if best.is_none_or(|(bd, _)| plane * plane < bd) {
             self.search(far, q, best, skip);
         }
     }
@@ -196,7 +196,7 @@ impl KdTree {
         let need_far = heap.len() < k
             || heap
                 .peek()
-                .map_or(true, |&(OrdF64(worst), _)| plane * plane < worst);
+                .is_none_or(|&(OrdF64(worst), _)| plane * plane < worst);
         if need_far {
             self.knn_search(far, q, query, k, heap);
         }

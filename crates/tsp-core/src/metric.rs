@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn att_exact_integer_not_bumped() {
         // dx = 10 => sqrt(1000/10) = 10 exactly; nint(10)=10, not bumped.
-        let d = att(p(0.0, 0.0), p(0.0, 31.6227766016837933));
+        let d = att(p(0.0, 0.0), p(0.0, 31.622_776_601_683_793));
         // sqrt(31.62..^2/10) = sqrt(99.999..) ~ 10.0 (slightly below),
         // nint = 10, 10 >= r -> stays 10
         assert_eq!(d, 10);

@@ -78,7 +78,7 @@ impl NeighborLists {
     ///
     /// Panics if `flat.len()` is not a multiple of `k`.
     pub fn from_flat(k: usize, flat: Vec<u32>) -> Self {
-        assert!(k > 0 && flat.len() % k == 0, "flat length must be n*k");
+        assert!(k > 0 && flat.len().is_multiple_of(k), "flat length must be n*k");
         NeighborLists { k, flat }
     }
 

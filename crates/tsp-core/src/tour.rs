@@ -42,16 +42,33 @@ impl Tour {
     ///
     /// Panics if `order` is not a permutation of `0..order.len()`.
     pub fn from_order(order: Vec<u32>) -> Self {
+        match Self::try_from_order(order) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build a tour from an explicit visiting order, returning an
+    /// error instead of panicking when `order` is not a permutation of
+    /// `0..order.len()` — the entry point for orders received from the
+    /// network, which must never be able to crash a node.
+    pub fn try_from_order(order: Vec<u32>) -> Result<Self, String> {
         let n = order.len();
-        assert!(n >= 3, "a tour needs at least 3 cities");
+        if n < 3 {
+            return Err(format!("a tour needs at least 3 cities, got {n}"));
+        }
         let mut pos = vec![u32::MAX; n];
         for (p, &c) in order.iter().enumerate() {
             let c = c as usize;
-            assert!(c < n, "city {c} out of range 0..{n}");
-            assert!(pos[c] == u32::MAX, "city {c} appears twice");
+            if c >= n {
+                return Err(format!("city {c} out of range 0..{n}"));
+            }
+            if pos[c] != u32::MAX {
+                return Err(format!("city {c} appears twice"));
+            }
             pos[c] = p as u32;
         }
-        Tour { order, pos }
+        Ok(Tour { order, pos })
     }
 
     /// A uniformly random tour.
@@ -375,6 +392,15 @@ mod tests {
     #[should_panic(expected = "appears twice")]
     fn duplicate_city_rejected() {
         Tour::from_order(vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn try_from_order_errors_instead_of_panicking() {
+        assert!(Tour::try_from_order(vec![0, 1]).is_err());
+        assert!(Tour::try_from_order(vec![0, 1, 1, 2]).is_err());
+        assert!(Tour::try_from_order(vec![0, 1, 7, 2]).is_err());
+        let t = Tour::try_from_order(vec![2, 0, 1, 3]).unwrap();
+        assert!(t.is_valid());
     }
 
     #[test]

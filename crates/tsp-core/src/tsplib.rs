@@ -73,14 +73,13 @@ pub fn parse_instance(text: &str) -> Result<Instance> {
                 };
                 match key.as_str() {
                     "NAME" => name = value,
-                    "TYPE" => {
-                        if !value.to_ascii_uppercase().starts_with("TSP") {
-                            return Err(Error::Parse(
-                                format!("unsupported TYPE {value:?} (only symmetric TSP)"),
-                                Some(lineno),
-                            ));
-                        }
+                    "TYPE" if !value.to_ascii_uppercase().starts_with("TSP") => {
+                        return Err(Error::Parse(
+                            format!("unsupported TYPE {value:?} (only symmetric TSP)"),
+                            Some(lineno),
+                        ));
                     }
+                    "TYPE" => {}
                     "DIMENSION" => {
                         dimension = Some(value.parse().map_err(|_| {
                             Error::Parse(format!("bad DIMENSION {value:?}"), Some(lineno))

@@ -509,6 +509,6 @@ mod tests {
         let n = 10_000usize;
         let tl = TwoLevelList::from_order_slice(&(0..n as u32).collect::<Vec<_>>());
         let s = tl.segment_count();
-        assert!(s >= 50 && s <= 200, "unexpected segment count {s}");
+        assert!((50..=200).contains(&s), "unexpected segment count {s}");
     }
 }

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::channel` — multi-producer multi-consumer channels
+//! with the same API subset and disconnect semantics as the real crate:
+//! cloneable `Sender`/`Receiver`, bounded and unbounded flavors, and
+//! `try_`/timeout variants. Built on `Mutex` + `Condvar`; adequate for the
+//! message rates of this workspace (thousands of tour broadcasts per run),
+//! not for lock-free throughput benchmarks.
+
+pub mod channel;

@@ -1,0 +1,28 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// `vec(strategy, 0..16)` — a vector of 0 to 15 sampled elements.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range in collection::vec");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.elem.sample_value(rng)).collect()
+    }
+}

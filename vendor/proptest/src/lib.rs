@@ -1,0 +1,153 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the surface this workspace's property tests use: the
+//! `proptest!` macro with `pat in strategy` arguments and an optional
+//! `#![proptest_config(..)]` header, `any::<T>()`, range strategies,
+//! tuple strategies, `prop_map`, `prop_oneof!`, `prop::collection::vec`,
+//! and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate: cases are sampled from a fixed
+//! per-test seed (derived from the test's module path and name), there
+//! is **no shrinking** — a failure reports the assertion with the raw
+//! sampled values via the panic message — and no persistence of failing
+//! cases. Pass/fail semantics are otherwise the same.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// The body of `proptest!`: expands each `fn name(pat in strategy, ..)`
+/// into a plain test that samples and runs `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $pat = $crate::strategy::Strategy::sample_value(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!` (the stand-in runner has no shrink phase to abort).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $({
+                let __s = $strat;
+                Box::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::sample_value(&__s, __rng)
+                }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_sample_in_bounds(n in 5usize..20, x in -3i64..=3, f in 0.0f64..1.0) {
+            prop_assert!((5..20).contains(&n));
+            prop_assert!((-3..=3).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_and_tuples(pair in (0u32..10, 0u32..10).prop_map(|(a, b)| (a + b, a)) ) {
+            let (sum, a) = pair;
+            prop_assert!(sum >= a);
+            prop_assert!(sum < 20);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(tag in prop_oneof![0usize..1, 1usize..2, 2usize..3]) {
+            prop_assert!(tag < 3usize);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{fnv1a, TestRng};
+        let seed = fnv1a("some::test");
+        let a: Vec<u64> = (0..10)
+            .map(|_| crate::arbitrary::any::<u64>().sample_value(&mut TestRng::from_seed(seed)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|_| crate::arbitrary::any::<u64>().sample_value(&mut TestRng::from_seed(seed)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oneof_is_roughly_uniform() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = prop_oneof![0usize..1, 1usize..2, 2usize..3];
+        let mut rng = TestRng::from_seed(99);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[s.sample_value(&mut rng)] += 1usize;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "skewed arm counts {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! One-stop imports, mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Alias so `prop::collection::vec(..)` resolves after a glob import.
+pub use crate as prop;

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (on `tsp-core`
+//! instance types) and never serializes, so the traits are markers and
+//! the derives (from the sibling `serde_derive` stand-in) expand to
+//! nothing. Code written against this compiles unchanged against real
+//! serde.
+
+/// Marker for types that could be serialized.
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Nothing in this workspace serializes: the derives on `tsp-core` types
+//! exist so downstream tooling *could* dump instances as JSON. Until a
+//! real serde is available these derives expand to nothing, which keeps
+//! `#[derive(Serialize, Deserialize)]` compiling without pulling in the
+//! full proc-macro stack (syn/quote have no offline source either).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
