@@ -10,6 +10,7 @@ use p2p::{Message, Topology, Transport};
 fn bench_codec(c: &mut Criterion) {
     let msg = Message::TourFound {
         from: 3,
+        id: 9,
         length: 123_456_789,
         order: (0..10_000).collect(),
     };
@@ -26,6 +27,7 @@ fn bench_memory_transport(c: &mut Criterion) {
         let (mut eps, _) = InMemoryNetwork::build(8, Topology::Hypercube);
         let msg = Message::TourFound {
             from: 0,
+            id: 0,
             length: 1,
             order: (0..1000).collect(),
         };

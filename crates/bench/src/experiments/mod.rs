@@ -6,6 +6,7 @@ pub mod faults;
 pub mod figure2;
 pub mod figure3;
 pub mod messages;
+pub mod profile;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -32,13 +33,14 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "tune" => tune::run(scale),
         "ablation" => ablation::run(scale),
         "faults" => faults::run(scale),
+        "profile" => profile::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// All experiment ids in suggested execution order.
-pub const ALL: [&str; 11] = [
+pub const ALL: [&str; 12] = [
     "table3", "table4", "table5", "table1", "table2", "figure2", "figure3", "messages",
-    "variator", "ablation", "faults",
+    "variator", "ablation", "faults", "profile",
 ];

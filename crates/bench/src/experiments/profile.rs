@@ -1,0 +1,403 @@
+//! `profile` — the observability showcase: run a hypercube network on
+//! one instance and render where the time went and how the best tour
+//! spread, from the structured data the `obs` layer collected.
+//!
+//! Unlike the paper-table experiments this one takes an instance
+//! argument on the command line:
+//!
+//! ```text
+//! cargo run -p bench -- profile path/to/instance.tsp
+//! cargo run -p bench -- profile E1k.1        # testbed stand-in name
+//! cargo run -p bench -- profile              # default stand-in
+//! ```
+//!
+//! Outputs, all under `target/repro/`:
+//!
+//! - `profile.md` — per-phase time breakdown (tour construction, LK
+//!   passes, kick steps), CLK call/gain distributions, message totals,
+//!   and the first hops of each broadcast (hub-to-leaf trace).
+//! - `profile_events.jsonl` — the merged per-node event timeline,
+//!   one JSON object per line, sorted by time.
+//! - `profile_convergence.csv` / `profile_timeline.csv` — plottable
+//!   series for the convergence and message timelines.
+//!
+//! With the `obs` feature disabled the run still works, but the
+//! event-driven sections degrade to a note (histograms and events
+//! compile to no-ops; only the always-on counters remain).
+
+use std::fmt::Write as _;
+
+use distclk::DistResult;
+use obs_api::{Event, HistogramSnapshot, Value};
+use tsp_core::{generate, Instance, NeighborLists};
+
+use crate::experiments::common::dist_config;
+use crate::report::{fmt_secs, Report};
+use crate::testbed::Scale;
+
+/// Format a nanosecond mean at a human scale (`1.2µs`, `3.4ms`).
+fn fmt_mean_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Dispatcher entry: profile the default stand-in instance.
+pub fn run(scale: &Scale) -> Report {
+    let inst = default_instance(scale);
+    run_on(&inst, scale)
+}
+
+/// Resolve a command-line instance argument: a TSPLIB file path if one
+/// exists at that path, otherwise a testbed stand-in name
+/// (`E1k.1`-style, sized by the scale), otherwise an error listing the
+/// options.
+pub fn resolve_instance(arg: &str, scale: &Scale) -> Result<Instance, String> {
+    if std::path::Path::new(arg).is_file() {
+        return tsp_core::tsplib::read_instance(arg)
+            .map_err(|e| format!("failed to parse TSPLIB file {arg}: {e}"));
+    }
+    let mut names = Vec::new();
+    for t in crate::testbed::small_testbed(scale)
+        .into_iter()
+        .chain(crate::testbed::large_testbed(scale))
+    {
+        if t.paper_name == arg {
+            return Ok(t.inst);
+        }
+        names.push(t.paper_name);
+    }
+    Err(format!(
+        "{arg:?} is neither a TSPLIB file nor a testbed name (known: {})",
+        names.join(", ")
+    ))
+}
+
+fn default_instance(scale: &Scale) -> Instance {
+    let n = ((1000.0 * scale.size_factor) as usize).max(200);
+    generate::uniform(n, 1_000_000.0, 12)
+}
+
+/// Profile one distributed run on `inst`.
+pub fn run_on(inst: &Instance, scale: &Scale) -> Report {
+    let mut report = Report::new(
+        "profile",
+        format!(
+            "Run profile: {} ({} cities, {} nodes, hypercube)",
+            inst.name(),
+            inst.len(),
+            scale.nodes
+        ),
+    );
+
+    // Setup phase is timed by hand; everything inside the run comes
+    // from the metrics registry.
+    let setup = std::time::Instant::now();
+    let nl = NeighborLists::build(inst, 10);
+    let setup_secs = setup.elapsed().as_secs_f64();
+
+    let cfg = dist_config(scale, lk::KickStrategy::RandomWalk(50), scale.nodes, 4242);
+    let res = distclk::run_lockstep(inst, &nl, &cfg);
+
+    report.para(&format!(
+        "Best tour: **{}** after {} (setup {}; {} CLK calls across {} nodes).",
+        res.best_length,
+        fmt_secs(res.wall_seconds),
+        fmt_secs(setup_secs),
+        res.metrics.counter("node.clk_calls"),
+        res.nodes.len(),
+    ));
+
+    phase_breakdown(&mut report, &res, setup_secs);
+    message_stats(&mut report, &res);
+    let events = merged_events(&res);
+    broadcast_trace(&mut report, &events);
+    timelines(&mut report, &res, &events);
+    write_event_log(&mut report, &events);
+    report
+}
+
+/// Per-phase time table from the CLK histograms. `clk.call.ns` wraps
+/// full LK passes (`ChainedLk::optimize`) and `clk.step.ns` wraps the
+/// chained kick steps (kick + localized re-optimization) — sibling
+/// phases, not nested ones.
+fn phase_breakdown(report: &mut Report, res: &DistResult, setup_secs: f64) {
+    report.para("## Where the time went");
+    if !obs_api::ENABLED {
+        report.para(
+            "_Built without the `obs` feature: duration histograms are \
+             compiled out; re-run with default features for the phase \
+             breakdown._",
+        );
+        return;
+    }
+    let total_ns = (res.wall_seconds * 1e9).max(1.0);
+    let phase_row = |label: &str, h: Option<&HistogramSnapshot>| -> Vec<String> {
+        let (count, sum, mean) = h.map_or((0, 0, String::from("-")), |h| {
+            (h.count, h.sum, fmt_mean_ns(h.mean()))
+        });
+        vec![
+            label.to_string(),
+            count.to_string(),
+            fmt_secs(sum as f64 / 1e9),
+            mean,
+            format!("{:.1}%", 100.0 * sum as f64 / total_ns),
+        ]
+    };
+    let rows = vec![
+        vec![
+            "setup (neighbor lists)".into(),
+            "1".into(),
+            fmt_secs(setup_secs),
+            fmt_mean_ns(setup_secs * 1e9),
+            "-".into(),
+        ],
+        phase_row(
+            "tour construction",
+            res.metrics.histogram("clk.construct.ns"),
+        ),
+        phase_row("full LK passes", res.metrics.histogram("clk.call.ns")),
+        phase_row(
+            "kick steps (kick + local re-opt)",
+            res.metrics.histogram("clk.step.ns"),
+        ),
+    ];
+    report.table(
+        &["phase", "count", "total", "mean", "% of run"],
+        &rows,
+    );
+    report.para(
+        "The remainder of the wall clock is message handling and the \
+         lockstep scheduler. Percentages are of single-threaded wall \
+         time (the lockstep driver interleaves all nodes on one core).",
+    );
+    if let Some(gain) = res.metrics.histogram("clk.call.gain") {
+        report.para(&format!(
+            "CLK call gain: mean {:.0}, p50 ≤ {}, p95 ≤ {} (length units; \
+             {} calls, {} kicks, {} accepted).",
+            gain.mean(),
+            gain.quantile(0.5).unwrap_or(0),
+            gain.quantile(0.95).unwrap_or(0),
+            gain.count,
+            res.metrics.counter("clk.kicks"),
+            res.metrics.counter("clk.accepts"),
+        ));
+    }
+    if let Some(kick) = res.metrics.histogram("node.kick_strength") {
+        if kick.count > 0 {
+            report.para(&format!(
+                "Perturbation strength (double-bridge moves per kick): \
+                 mean {:.1}, max bucket ≤ {} over {} perturbations.",
+                kick.mean(),
+                kick.quantile(1.0).unwrap_or(0),
+                kick.count,
+            ));
+        }
+    }
+}
+
+fn message_stats(report: &mut Report, res: &DistResult) {
+    report.para("## Messages");
+    let (msgs, bytes, tours) = res.messages;
+    report.table(
+        &["metric", "value"],
+        &[
+            vec!["transport messages".into(), msgs.to_string()],
+            vec!["wire bytes".into(), bytes.to_string()],
+            vec!["tour broadcasts on the wire".into(), tours.to_string()],
+            vec![
+                "broadcasts initiated".into(),
+                res.metrics.counter("node.broadcasts").to_string(),
+            ],
+            vec![
+                "tours received".into(),
+                res.metrics.counter("node.received").to_string(),
+            ],
+            vec![
+                "tours rejected".into(),
+                res.metrics.counter("node.rejected").to_string(),
+            ],
+        ],
+    );
+}
+
+fn merged_events(res: &DistResult) -> Vec<Event> {
+    let per_node: Vec<Vec<Event>> = res.nodes.iter().map(|n| n.obs_events.clone()).collect();
+    obs_api::merge_timelines(&per_node)
+}
+
+fn field_u64(ev: &Event, name: &str) -> Option<u64> {
+    match ev.field(name) {
+        Some(Value::U(u)) => Some(*u),
+        Some(Value::I(i)) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+/// The hub-to-leaf story: for each broadcast id, when it was
+/// originated and which nodes adopted it, in time order.
+fn broadcast_trace(report: &mut Report, events: &[Event]) {
+    report.para("## Broadcast traces (hub to leaf)");
+    if !obs_api::ENABLED {
+        report.para("_Events compiled out; no traces available._");
+        return;
+    }
+    // One originated broadcast id and its adoptions, in time order.
+    struct BroadcastTrace {
+        id: u64,
+        origin: u32,
+        t_origin: u64,
+        adoptions: Vec<(u64, u32)>,
+    }
+    let mut traces: Vec<BroadcastTrace> = Vec::new();
+    for ev in events {
+        match ev.kind.as_ref() {
+            "node.broadcast" => {
+                if let Some(id) = field_u64(ev, "tour_id") {
+                    traces.push(BroadcastTrace {
+                        id,
+                        origin: ev.node,
+                        t_origin: ev.t_ns,
+                        adoptions: Vec::new(),
+                    });
+                }
+            }
+            "node.adopt" => {
+                if let Some(id) = field_u64(ev, "tour_id") {
+                    if let Some(t) = traces.iter_mut().find(|t| t.id == id) {
+                        t.adoptions.push((ev.t_ns, ev.node));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if traces.is_empty() {
+        report.para("_No broadcasts in this run (budget too small?)._");
+        return;
+    }
+    let shown = traces.len().min(12);
+    let rows: Vec<Vec<String>> = traces[..shown]
+        .iter()
+        .map(|t| {
+            let mut path = String::new();
+            for (at, node) in &t.adoptions {
+                let _ = write!(
+                    path,
+                    "{}{node}@+{:.1}ms",
+                    if path.is_empty() { "" } else { " → " },
+                    (at.saturating_sub(t.t_origin)) as f64 / 1e6
+                );
+            }
+            if path.is_empty() {
+                path = "(no adoptions)".into();
+            }
+            vec![
+                format!("{:#x}", t.id),
+                t.origin.to_string(),
+                format!("{:.1}ms", t.t_origin as f64 / 1e6),
+                path,
+            ]
+        })
+        .collect();
+    report.table(&["broadcast id", "origin", "t origin", "adopted by"], &rows);
+    if traces.len() > shown {
+        report.para(&format!(
+            "_{} further broadcasts omitted; the full set is in the \
+             event log._",
+            traces.len() - shown
+        ));
+    }
+}
+
+/// CSV series: network convergence and the message-event timeline.
+fn timelines(report: &mut Report, res: &DistResult, events: &[Event]) {
+    let conv: Vec<String> = res
+        .network_trace
+        .points()
+        .iter()
+        .map(|(secs, kicks, len)| format!("{secs:.6},{kicks},{len}"))
+        .collect();
+    report.series("convergence", "secs,clk_calls,best_length", conv);
+
+    let msg_kinds = ["node.broadcast", "node.recv", "node.adopt", "node.reject"];
+    let rows: Vec<String> = events
+        .iter()
+        .filter(|e| msg_kinds.contains(&e.kind.as_ref()))
+        .map(|e| {
+            format!(
+                "{},{},{},{:#x},{}",
+                e.t_ns,
+                e.node,
+                e.kind,
+                field_u64(e, "tour_id").unwrap_or(0),
+                field_u64(e, "len")
+                    .or_else(|| field_u64(e, "claimed_len"))
+                    .unwrap_or(0),
+            )
+        })
+        .collect();
+    report.series("timeline", "t_ns,node,kind,tour_id,length", rows);
+}
+
+/// Dump the full merged timeline as JSONL next to the report.
+fn write_event_log(report: &mut Report, events: &[Event]) {
+    let path = Report::out_dir().join("profile_events.jsonl");
+    let mut buf = Vec::new();
+    if obs_api::write_jsonl(&mut buf, events).is_ok() && std::fs::write(&path, &buf).is_ok() {
+        report.para(&format!(
+            "Full event log: `{}` ({} events).",
+            path.display(),
+            events.len()
+        ));
+    } else {
+        report.para("_Failed to write the JSONL event log._");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_runs_and_renders() {
+        let scale = Scale {
+            runs: 1,
+            clk_kicks: 60,
+            size_factor: 0.1,
+            nodes: 4,
+            kicks_per_call: 3,
+        };
+        let inst = generate::uniform(120, 10_000.0, 7);
+        let report = run_on(&inst, &scale);
+        assert!(report.markdown.contains("Where the time went"));
+        assert!(report.markdown.contains("Messages"));
+        // Convergence series always present; timeline csv may be empty
+        // rows without the obs feature but the series must exist.
+        assert!(report.csv.iter().any(|(n, _, _)| n == "convergence"));
+        assert!(report.csv.iter().any(|(n, _, _)| n == "timeline"));
+        if obs_api::ENABLED {
+            assert!(
+                report.markdown.contains("broadcast id")
+                    || report.markdown.contains("No broadcasts"),
+                "trace section missing:\n{}",
+                report.markdown
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_instance_accepts_testbed_names() {
+        let scale = Scale::quick();
+        let inst = resolve_instance("E1k.1", &scale).expect("testbed name resolves");
+        assert!(inst.len() >= 64);
+        let err = resolve_instance("no-such-instance", &scale).unwrap_err();
+        assert!(err.contains("E1k.1"), "error lists options: {err}");
+    }
+}

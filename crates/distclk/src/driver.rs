@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use lk::Trace;
+use obs_api::MetricsSnapshot;
 use p2p::memory::{InMemoryNetwork, NetStats};
 use p2p::Transport;
 use tsp_core::{Instance, NeighborLists, Tour};
@@ -25,6 +26,11 @@ pub struct DistResult {
     pub messages: (u64, u64, u64),
     /// Wall-clock duration of the whole run.
     pub wall_seconds: f64,
+    /// Merge of every node's metrics registry: counters, gauges, and
+    /// histogram buckets all sum across nodes. Network-wide totals
+    /// (CLK calls, broadcasts, kick-strength distribution) read from
+    /// here.
+    pub metrics: MetricsSnapshot,
 }
 
 impl DistResult {
@@ -45,12 +51,17 @@ impl DistResult {
         // Recompute on the instance: node results may carry lengths
         // claimed by peers; the aggregate reports ground truth.
         let best_length = best_tour.length(inst);
+        let mut metrics = MetricsSnapshot::default();
+        for n in &nodes {
+            metrics.merge(&n.metrics);
+        }
         DistResult {
             best_tour,
             best_length,
             network_trace,
             messages,
             wall_seconds: secs,
+            metrics,
             nodes,
         }
     }
@@ -258,6 +269,95 @@ mod tests {
         for n in &res.nodes {
             assert!(n.clk_calls < 10_000, "node {} ran to budget", n.id);
         }
+    }
+
+    #[test]
+    fn node_counters_agree_with_metrics_registry() {
+        // The NodeResult counter fields are *read from* the registry,
+        // so equality here is the no-drift guarantee of satellite #2;
+        // also check the aggregate snapshot is the sum over nodes.
+        let inst = generate::uniform(100, 10_000.0, 305);
+        let nl = NeighborLists::build(&inst, 8);
+        let res = run_lockstep(&inst, &nl, &small_cfg(8, 6, 13));
+        for n in &res.nodes {
+            assert_eq!(n.clk_calls, n.metrics.counter("node.clk_calls"));
+            assert_eq!(n.broadcasts, n.metrics.counter("node.broadcasts"));
+            assert_eq!(n.received, n.metrics.counter("node.received"));
+            assert_eq!(n.rejected, n.metrics.counter("node.rejected"));
+        }
+        let sum_calls: u64 = res.nodes.iter().map(|n| n.clk_calls).sum();
+        assert_eq!(res.metrics.counter("node.clk_calls"), sum_calls);
+        assert_eq!(
+            res.metrics.counter("node.broadcasts"),
+            res.total_broadcasts()
+        );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn broadcast_ids_trace_hub_to_leaf() {
+        use obs_api::Value;
+        use p2p::Topology;
+
+        // Epidemic forwarding on a ring: a tour found at its origin
+        // must be traceable — by one broadcast id — through the
+        // structured event logs of every node that adopted it, and the
+        // id must still name its origin after any number of hops.
+        let inst = generate::uniform(100, 10_000.0, 306);
+        let nl = NeighborLists::build(&inst, 8);
+        let mut cfg = small_cfg(6, 6, 17);
+        cfg.topology = Topology::Ring;
+        cfg.forward_received = true;
+        let res = run_lockstep(&inst, &nl, &cfg);
+
+        let field = |ev: &obs_api::Event, key: &str| -> Option<u64> {
+            ev.fields.iter().find_map(|(k, v)| match v {
+                Value::U(u) if k == key => Some(*u),
+                _ => None,
+            })
+        };
+
+        // Collect every id that was adopted somewhere, and every id
+        // that was originated (node.broadcast) anywhere.
+        let mut adopted: Vec<(u64, u32)> = Vec::new(); // (tour_id, adopter)
+        let mut originated: Vec<u64> = Vec::new();
+        for n in &res.nodes {
+            for ev in &n.obs_events {
+                match ev.kind.as_ref() {
+                    "node.adopt" => {
+                        adopted.push((field(ev, "tour_id").expect("adopt has id"), ev.node));
+                    }
+                    "node.broadcast" => {
+                        originated.push(field(ev, "tour_id").expect("broadcast has id"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(!adopted.is_empty(), "cooperation produced no adoptions");
+        for (id, adopter) in &adopted {
+            let origin = (id >> 32) as u32;
+            assert!(
+                (origin as usize) < res.nodes.len(),
+                "id {id:#x} names origin {origin} outside the network"
+            );
+            assert_ne!(origin, *adopter, "a node adopted its own broadcast");
+            assert!(
+                originated.contains(id),
+                "adopted id {id:#x} was never originated by a node.broadcast event"
+            );
+        }
+        // At least one tour crossed more than one hop: the same id
+        // adopted by two different nodes (the epidemic forward path).
+        let multi_hop = adopted.iter().any(|(id, a)| {
+            adopted
+                .iter()
+                .any(|(id2, a2)| id == id2 && a != a2)
+        });
+        assert!(
+            multi_hop,
+            "no broadcast id was adopted by more than one node on the ring"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The per-node driver: the paper's Figure 1 loop over any transport.
 
 use lk::{Budget, ChainedLk, ChainedLkConfig, Stopwatch, Trace};
-use p2p::{Message, NodeId, Topology, Transport};
+use obs_api::{Counter, Histogram, MetricsSnapshot, Obs, Value};
+use p2p::{broadcast_id, Message, NodeId, Topology, Transport};
 use tsp_core::{Instance, NeighborLists, Tour};
 
 use crate::perturb::{PerturbAction, Perturbator};
@@ -111,6 +112,13 @@ pub struct NodeResult {
     pub trace: Trace,
     /// Event log.
     pub events: Vec<NodeEvent>,
+    /// Snapshot of the node's metrics registry at finish time. The
+    /// counter fields above are read from this registry, so the two
+    /// can never drift.
+    pub metrics: MetricsSnapshot,
+    /// Structured observability events (empty when the `obs` feature
+    /// is disabled).
+    pub obs_events: Vec<obs_api::Event>,
 }
 
 /// One node of the distributed algorithm.
@@ -129,10 +137,15 @@ pub struct NodeDriver<'a, T: Transport> {
     best_tour: Tour,
     best_len: i64,
 
-    clk_calls: u64,
-    broadcasts: u64,
-    received: u64,
-    rejected: u64,
+    // Counters live in the obs registry (the single source of truth
+    // NodeResult reads from); these are the resolved handles.
+    obs: Obs,
+    c_clk_calls: Counter,
+    c_broadcasts: Counter,
+    c_received: Counter,
+    c_rejected: Counter,
+    h_kick_strength: Histogram,
+    broadcast_seq: u32,
     last_strength: u32,
     terminated: bool,
 
@@ -142,12 +155,27 @@ pub struct NodeDriver<'a, T: Transport> {
 
 impl<'a, T: Transport> NodeDriver<'a, T> {
     /// Create a node and run the initial `s_best := CLK(INITIALTOUR)`
-    /// step (paper Fig. 1 preamble).
+    /// step (paper Fig. 1 preamble). The node gets its own live
+    /// [`Obs`] registry — `NodeResult` counters are read from it.
     pub fn new(
         inst: &'a Instance,
         neighbors: &'a NeighborLists,
         cfg: &DistConfig,
         transport: T,
+    ) -> Self {
+        let obs = Obs::for_node(transport.node_id() as u32);
+        Self::new_with_obs(inst, neighbors, cfg, transport, obs)
+    }
+
+    /// Like [`NodeDriver::new`] but with a caller-supplied observability
+    /// handle (e.g. a shared one in single-process simulations, or a
+    /// ring-sized one for long runs).
+    pub fn new_with_obs(
+        inst: &'a Instance,
+        neighbors: &'a NeighborLists,
+        cfg: &DistConfig,
+        transport: T,
+        obs: Obs,
     ) -> Self {
         let id = transport.node_id();
         let mut clk_cfg = cfg.clk.clone();
@@ -162,11 +190,23 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             ][id % 4];
         }
         let mut engine = ChainedLk::new(inst, neighbors, clk_cfg);
+        engine.attach_obs(obs.clone());
         let watch = Stopwatch::start();
+
+        let c_clk_calls = obs.counter("node.clk_calls");
+        let c_broadcasts = obs.counter("node.broadcasts");
+        let c_received = obs.counter("node.received");
+        let c_rejected = obs.counter("node.rejected");
+        let h_kick_strength = obs.histogram("node.kick_strength");
 
         let mut tour = engine.construct_tour();
         engine.optimize(&mut tour);
         let len = tour.length(inst);
+        c_clk_calls.incr();
+        obs.event(
+            "node.initial",
+            &[("len", Value::U(len.max(0) as u64))],
+        );
 
         let mut trace = Trace::new();
         trace.record(watch.secs(), 0, len);
@@ -189,10 +229,13 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             prev_len: len,
             best_tour: tour,
             best_len: len,
-            clk_calls: 1,
-            broadcasts: 0,
-            received: 0,
-            rejected: 0,
+            obs,
+            c_clk_calls,
+            c_broadcasts,
+            c_received,
+            c_rejected,
+            h_kick_strength,
+            broadcast_seq: 0,
             last_strength: 1,
             terminated: false,
             trace,
@@ -218,7 +261,12 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
     /// Whether the budget (or the target) stops further iterations.
     pub fn budget_exhausted(&self) -> bool {
         self.budget
-            .exhausted(self.watch.elapsed(), self.clk_calls, self.best_len)
+            .exhausted(self.watch.elapsed(), self.c_clk_calls.get(), self.best_len)
+    }
+
+    /// This node's observability handle (shared with its CLK engine).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// One CLK call: full LK optimization plus the engine's internal
@@ -237,7 +285,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             }
             len = self.engine.chain_step(tour, len);
         }
-        self.clk_calls += 1;
+        self.c_clk_calls.incr();
         len
     }
 
@@ -260,16 +308,32 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
 
         // s := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
         let mut s = self.best_tour.clone();
+        let no_imp_before = self.perturb.no_improvements();
         match self.perturb.perturbate(&mut s, self.engine.rng_mut()) {
             PerturbAction::Restart => {
                 self.events.push(NodeEvent::Restart {
                     secs: self.watch.secs(),
                 });
+                self.obs.event(
+                    "node.restart",
+                    &[("no_improvements", Value::U(no_imp_before as u64))],
+                );
                 s = self.engine.construct_tour();
             }
-            PerturbAction::Kicked(_) => {}
+            PerturbAction::Kicked(strength) => {
+                self.h_kick_strength.observe(strength as u64);
+            }
         }
         let s_len = self.clk_call(&mut s);
+        self.obs.event(
+            "node.iter",
+            &[
+                ("no_improvements", Value::U(self.perturb.no_improvements() as u64)),
+                ("strength", Value::U(self.perturb.strength() as u64)),
+                ("s_len", Value::I(s_len)),
+                ("best_len", Value::I(self.best_len)),
+            ],
+        );
 
         // Merge in everything received meanwhile. Received tours are
         // untrusted input: the order must be a permutation of the
@@ -277,25 +341,44 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         // the locally recomputed one — anything else is dropped so a
         // corrupted frame can never poison `best_len` or panic the
         // node (and a bogus length is never rebroadcast).
-        let mut best_received: Option<(i64, Tour, NodeId)> = None;
+        let mut best_received: Option<(i64, Tour, NodeId, u64)> = None;
         for msg in self.transport.drain() {
             match msg {
                 Message::TourFound {
                     from,
+                    id,
                     length,
                     order,
                 } => {
-                    self.received += 1;
+                    self.c_received.incr();
+                    self.obs.event(
+                        "node.recv",
+                        &[
+                            ("tour_id", Value::U(id)),
+                            ("from", Value::U(from as u64)),
+                            ("len", Value::I(length)),
+                        ],
+                    );
                     match self.validate_received(length, order) {
                         Some((true_len, tour)) => {
                             if best_received
                                 .as_ref()
-                                .is_none_or(|(l, _, _)| true_len < *l)
+                                .is_none_or(|(l, _, _, _)| true_len < *l)
                             {
-                                best_received = Some((true_len, tour, from));
+                                best_received = Some((true_len, tour, from, id));
                             }
                         }
-                        None => self.rejected += 1,
+                        None => {
+                            self.c_rejected.incr();
+                            self.obs.event(
+                                "node.reject",
+                                &[
+                                    ("tour_id", Value::U(id)),
+                                    ("from", Value::U(from as u64)),
+                                    ("claimed_len", Value::I(length)),
+                                ],
+                            );
+                        }
                     }
                 }
                 Message::OptimumFound { from, .. } => {
@@ -303,6 +386,8 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                         secs: self.watch.secs(),
                         from,
                     });
+                    self.obs
+                        .event("node.peer_optimum", &[("from", Value::U(from as u64))]);
                     self.terminated = true;
                 }
                 Message::Leave { .. } => {}
@@ -318,7 +403,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             best_so_far = s_len;
             source = Source::Local;
         }
-        if let Some((len, _, _)) = &best_received {
+        if let Some((len, _, _, _)) = &best_received {
             if *len < best_so_far {
                 source = Source::Received;
             }
@@ -335,6 +420,10 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                         secs: self.watch.secs(),
                         strength,
                     });
+                    self.obs.event(
+                        "node.strength",
+                        &[("strength", Value::U(strength as u64))],
+                    );
                 }
             }
             Source::Local => {
@@ -343,7 +432,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                 self.best_tour = s;
                 self.best_len = s_len;
                 self.trace
-                    .record(self.watch.secs(), self.clk_calls, s_len);
+                    .record(self.watch.secs(), self.c_clk_calls.get(), s_len);
                 self.events.push(NodeEvent::Improved {
                     secs: self.watch.secs(),
                     length: s_len,
@@ -351,30 +440,53 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                 });
                 // Only locally-produced bests are broadcast (Fig. 1);
                 // count only broadcasts that actually reached a peer.
+                let tour_id = broadcast_id(self.id, self.broadcast_seq);
+                self.broadcast_seq += 1;
                 let sent = self.transport.broadcast(Message::TourFound {
                     from: self.id,
+                    id: tour_id,
                     length: s_len,
                     order: self.best_tour.order().to_vec(),
                 });
                 if sent > 0 {
-                    self.broadcasts += 1;
+                    self.c_broadcasts.incr();
+                    self.obs.event(
+                        "node.broadcast",
+                        &[
+                            ("tour_id", Value::U(tour_id)),
+                            ("len", Value::I(s_len)),
+                            ("peers", Value::U(sent as u64)),
+                        ],
+                    );
                 }
             }
             Source::Received => {
-                let (len, tour, from) = best_received.expect("source=Received implies Some");
+                let (len, tour, from, tour_id) =
+                    best_received.expect("source=Received implies Some");
                 self.perturb.record_improvement();
                 self.reset_strength_event();
                 self.best_tour = tour;
                 self.best_len = len;
-                self.trace.record(self.watch.secs(), self.clk_calls, len);
+                self.trace
+                    .record(self.watch.secs(), self.c_clk_calls.get(), len);
                 self.events.push(NodeEvent::Improved {
                     secs: self.watch.secs(),
                     length: len,
                     local: false,
                 });
+                self.obs.event(
+                    "node.adopt",
+                    &[
+                        ("tour_id", Value::U(tour_id)),
+                        ("from", Value::U(from as u64)),
+                        ("len", Value::I(len)),
+                    ],
+                );
                 if self.forward_received {
                     // Epidemic forwarding: relay the improvement to every
-                    // neighbor except the one it came from.
+                    // neighbor except the one it came from. The broadcast
+                    // id is preserved verbatim so the tour's migration
+                    // stays traceable to its origin.
                     let order = self.best_tour.order().to_vec();
                     let mut relayed = 0;
                     for nb in self.transport.neighbors() {
@@ -385,6 +497,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                                     nb,
                                     Message::TourFound {
                                         from: self.id,
+                                        id: tour_id,
                                         length: len,
                                         order: order.clone(),
                                     },
@@ -395,7 +508,15 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                         }
                     }
                     if relayed > 0 {
-                        self.broadcasts += 1;
+                        self.c_broadcasts.incr();
+                        self.obs.event(
+                            "node.forward",
+                            &[
+                                ("tour_id", Value::U(tour_id)),
+                                ("len", Value::I(len)),
+                                ("peers", Value::U(relayed as u64)),
+                            ],
+                        );
                     }
                 }
             }
@@ -442,6 +563,8 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             secs: self.watch.secs(),
             length: self.best_len,
         });
+        self.obs
+            .event("node.optimum", &[("len", Value::I(self.best_len))]);
         self.transport.broadcast(Message::OptimumFound {
             from: self.id,
             length: self.best_len,
@@ -466,20 +589,25 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         }
     }
 
-    /// Consume the driver, producing the node's result record.
+    /// Consume the driver, producing the node's result record. The
+    /// counter fields are read back from the obs registry — the
+    /// registry is the single source of truth, so `NodeResult` and
+    /// the exported metrics can never disagree.
     pub fn finish(mut self) -> NodeResult {
         self.finishing_touches();
         NodeResult {
             id: self.id,
             best_length: self.best_len,
             best_tour: self.best_tour,
-            clk_calls: self.clk_calls,
-            broadcasts: self.broadcasts,
-            received: self.received,
-            rejected: self.rejected,
+            clk_calls: self.c_clk_calls.get(),
+            broadcasts: self.c_broadcasts.get(),
+            received: self.c_received.get(),
+            rejected: self.c_rejected.get(),
             seconds: self.watch.secs(),
             trace: self.trace,
             events: self.events,
+            metrics: self.obs.snapshot(),
+            obs_events: self.obs.events(),
         }
     }
 
@@ -559,6 +687,7 @@ mod tests {
             1,
             Message::TourFound {
                 from: 0,
+                id: broadcast_id(0, 0),
                 length: opt_len,
                 order: opt_tour.order().to_vec(),
             },
@@ -602,6 +731,7 @@ mod tests {
             1,
             Message::TourFound {
                 from: 0,
+                id: broadcast_id(0, 0),
                 length: 1,
                 order: (0..40).collect(),
             },
@@ -612,6 +742,7 @@ mod tests {
             1,
             Message::TourFound {
                 from: 0,
+                id: broadcast_id(0, 1),
                 length: 1,
                 order: vec![0; 60],
             },
@@ -623,6 +754,7 @@ mod tests {
             1,
             Message::TourFound {
                 from: 0,
+                id: broadcast_id(0, 2),
                 length: 1,
                 order: Tour::identity(60).order().to_vec(),
             },

@@ -126,8 +126,15 @@ impl Trace {
         Trace::default()
     }
 
-    /// Record an improvement.
+    /// Record an improvement. The trace is a *best-so-far* series, so
+    /// a sample that does not improve on the last recorded length is
+    /// dropped — repeated or regressing entries (e.g. a received tour
+    /// tying the local best) can never corrupt the convergence curves;
+    /// the full history lives in the obs event log instead.
     pub fn record(&mut self, secs: f64, kicks: u64, length: i64) {
+        if self.points.last().is_some_and(|&(_, _, l)| length >= l) {
+            return;
+        }
         self.points.push((secs, kicks, length));
     }
 
@@ -226,6 +233,19 @@ mod tests {
         assert_eq!(t.time_to_reach(850), Some(2.0));
         assert_eq!(t.time_to_reach(800), None);
         assert_eq!(t.final_length(), Some(850));
+    }
+
+    #[test]
+    fn trace_drops_non_improving_samples() {
+        let mut t = Trace::new();
+        t.record(0.1, 1, 1000);
+        t.record(0.2, 2, 1000); // duplicate length: dropped
+        t.record(0.3, 3, 1100); // regression: dropped
+        t.record(0.4, 4, 900);
+        assert_eq!(t.points(), &[(0.1, 1, 1000), (0.4, 4, 900)]);
+        for w in t.points().windows(2) {
+            assert!(w[1].2 < w[0].2);
+        }
     }
 
     #[test]

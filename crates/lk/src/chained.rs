@@ -10,6 +10,7 @@
 //! kicking strategy injectable — exactly the knob the paper sweeps in
 //! Tables 3–5.
 
+use obs_api::{Counter, Histogram, Obs};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tsp_core::{Instance, NeighborLists, Tour};
@@ -92,12 +93,46 @@ pub struct ChainedLk<'a> {
     lk: LinKernighan,
     cfg: ChainedLkConfig,
     rng: SmallRng,
+    obs: Obs,
+    probes: Probes,
+}
+
+/// Metric handles resolved once at attach time so the hot loop never
+/// touches the registry map. All no-ops until [`ChainedLk::attach_obs`]
+/// is called with a live handle.
+struct Probes {
+    /// Full-optimize call duration (ns) and gain.
+    h_call_ns: Histogram,
+    h_call_gain: Histogram,
+    /// Chained-iteration duration (ns).
+    h_step_ns: Histogram,
+    /// Initial-tour construction duration (ns).
+    h_construct_ns: Histogram,
+    /// Kicks attempted / kicks whose result was kept.
+    c_kicks: Counter,
+    c_accepts: Counter,
+}
+
+impl Probes {
+    fn resolve(obs: &Obs) -> Self {
+        Probes {
+            h_call_ns: obs.histogram("clk.call.ns"),
+            h_call_gain: obs.histogram("clk.call.gain"),
+            h_step_ns: obs.histogram("clk.step.ns"),
+            h_construct_ns: obs.histogram("clk.construct.ns"),
+            c_kicks: obs.counter("clk.kicks"),
+            c_accepts: obs.counter("clk.accepts"),
+        }
+    }
 }
 
 impl<'a> ChainedLk<'a> {
     /// Create an engine. `neighbors` must cover the same instance.
+    /// Observability is off until [`ChainedLk::attach_obs`].
     pub fn new(inst: &'a Instance, neighbors: &'a NeighborLists, cfg: ChainedLkConfig) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let obs = Obs::disabled();
+        let probes = Probes::resolve(&obs);
         ChainedLk {
             inst,
             neighbors,
@@ -105,7 +140,23 @@ impl<'a> ChainedLk<'a> {
             lk: LinKernighan::new(cfg.lk.clone()),
             cfg,
             rng,
+            obs,
+            probes,
         }
+    }
+
+    /// Attach an observability handle: call durations, gains, and
+    /// kick-acceptance counters flow into its registry from now on.
+    /// Instrumentation never touches the RNG, so attaching cannot
+    /// change the search trajectory.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.probes = Probes::resolve(&obs);
+        self.obs = obs;
+    }
+
+    /// The engine's observability handle (disabled unless attached).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The engine's instance.
@@ -121,11 +172,15 @@ impl<'a> ChainedLk<'a> {
 
     /// Construct the configured initial tour.
     pub fn construct_tour(&mut self) -> Tour {
-        construct(self.inst, self.cfg.construction, &mut self.rng)
+        let t = self.obs.timer();
+        let tour = construct(self.inst, self.cfg.construction, &mut self.rng);
+        t.observe_into(&self.probes.h_construct_ns);
+        tour
     }
 
     /// Fully LK-optimize `tour` (all cities active). Returns the gain.
     pub fn optimize(&mut self, tour: &mut Tour) -> i64 {
+        let t = self.obs.timer();
         let mut gain = lin_kernighan(&mut self.lk, &mut self.opt, tour);
         if self.cfg.use_or_opt {
             self.opt.activate_all();
@@ -135,6 +190,8 @@ impl<'a> ChainedLk<'a> {
                 gain += g2 + lk_pass(&mut self.lk, &mut self.opt, tour);
             }
         }
+        t.observe_into(&self.probes.h_call_ns);
+        self.probes.h_call_gain.observe(gain.max(0) as u64);
         gain
     }
 
@@ -162,15 +219,19 @@ impl<'a> ChainedLk<'a> {
     /// re-optimize around the kick, keep iff not worse. Returns the
     /// (possibly negative-gain-rejected) new length.
     pub fn chain_step(&mut self, tour: &mut Tour, current_len: i64) -> i64 {
+        let t = self.obs.timer();
         let mut trial = tour.clone();
         let cuts = match kick(self.cfg.kick, &mut trial, self.neighbors, &mut self.rng) {
             Some(c) => c,
             None => return current_len,
         };
+        self.probes.c_kicks.incr();
         let seeds: Vec<usize> = cuts.iter().map(|&p| trial.city_at(p)).collect();
         self.optimize_around(&mut trial, &seeds);
         let new_len = trial.length(self.inst);
+        t.observe_into(&self.probes.h_step_ns);
         if new_len <= current_len {
+            self.probes.c_accepts.incr();
             *tour = trial;
             new_len
         } else {

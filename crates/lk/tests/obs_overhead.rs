@@ -1,0 +1,88 @@
+//! ISSUE acceptance criterion: the observability layer must cost less
+//! than 2% on a fixed-seed CLK run.
+//!
+//! The comparison is runtime-attached (`Obs::for_node` vs
+//! `Obs::disabled()`) in the same binary, which is *stricter* than the
+//! feature gate: a disabled handle still pays the `Option` checks that
+//! the `--no-default-features` build compiles out entirely. Timing
+//! uses min-of-N with alternating order so scheduler noise and thermal
+//! drift hit both variants equally.
+
+use std::time::{Duration, Instant};
+
+use lk::{Budget, ChainedLk, ChainedLkConfig};
+use obs_api::Obs;
+use tsp_core::{generate, NeighborLists};
+
+const N_CITIES: usize = 400;
+const KICKS: u64 = 600;
+const ROUNDS: usize = 5;
+
+fn run_once(inst: &tsp_core::Instance, nl: &NeighborLists, obs: Obs) -> (Duration, i64) {
+    let cfg = ChainedLkConfig {
+        seed: 42,
+        ..Default::default()
+    };
+    let mut engine = ChainedLk::new(inst, nl, cfg);
+    engine.attach_obs(obs);
+    let start = Instant::now();
+    let res = engine.run(&Budget::kicks(KICKS));
+    (start.elapsed(), res.length)
+}
+
+/// Instrumentation must not perturb the search: same seed, same tour,
+/// with and without a live obs handle.
+#[test]
+fn obs_does_not_change_the_search_trajectory() {
+    let inst = generate::uniform(N_CITIES, 100_000.0, 4242);
+    let nl = NeighborLists::build(&inst, 10);
+    let (_, len_off) = run_once(&inst, &nl, Obs::disabled());
+    let (_, len_on) = run_once(&inst, &nl, Obs::for_node(0));
+    assert_eq!(
+        len_off, len_on,
+        "attaching obs changed the fixed-seed search result"
+    );
+}
+
+/// The headline bound: obs-on within 2% of obs-off. Min-of-N is the
+/// standard way to strip scheduler noise from a bound like this — the
+/// minimum approaches the true cost of the code, while means inherit
+/// every descheduling spike.
+#[test]
+fn obs_overhead_under_two_percent() {
+    if !obs_api::ENABLED {
+        // Feature off: both variants are the same no-op code, so the
+        // comparison would only measure scheduler noise.
+        return;
+    }
+    let inst = generate::uniform(N_CITIES, 100_000.0, 4242);
+    let nl = NeighborLists::build(&inst, 10);
+
+    // Warm-up: touch caches, trigger lazy init, page in the code.
+    run_once(&inst, &nl, Obs::disabled());
+    run_once(&inst, &nl, Obs::for_node(0));
+
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for _ in 0..ROUNDS {
+        let (t_off, _) = run_once(&inst, &nl, Obs::disabled());
+        let (t_on, _) = run_once(&inst, &nl, Obs::for_node(0));
+        best_off = best_off.min(t_off);
+        best_on = best_on.min(t_on);
+    }
+
+    let off = best_off.as_secs_f64();
+    let on = best_on.as_secs_f64();
+    let overhead = (on - off) / off;
+    // Keep the workload long enough that 2% clears timer resolution;
+    // if this fires, raise KICKS rather than loosening the bound.
+    assert!(
+        off > 0.05,
+        "workload too short ({off:.3}s) for a meaningful 2% bound; raise KICKS"
+    );
+    assert!(
+        on <= off * 1.02,
+        "obs overhead {:.2}% exceeds the 2% budget (off={off:.3}s on={on:.3}s)",
+        overhead * 100.0
+    );
+}

@@ -1,0 +1,302 @@
+//! # obs
+//!
+//! The observability spine of the workspace: a vendor-free stand-in
+//! for `tracing` + `prometheus` (this build environment is offline, so
+//! like the PR-1 transport stand-ins everything here is written from
+//! scratch against `std`).
+//!
+//! Three layers, one handle:
+//!
+//! - [`metrics`] — a lock-free registry of atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket log2 [`Histogram`]s, with
+//!   [`MetricsSnapshot`] merge for cross-node aggregation and a
+//!   Prometheus text exposition writer.
+//! - [`event`] — per-node ring-buffered structured [`Event`]s
+//!   (`t_ns`, `node`, `kind`, fields) with a JSONL sink and parser.
+//! - [`Obs`] — the per-node handle the search and P2P layers carry:
+//!   cheap to clone, resolves metric handles once, stamps events with
+//!   nanoseconds since creation.
+//!
+//! ## Feature gating
+//!
+//! The `enabled` feature (default-on, forwarded from each consumer
+//! crate's `obs` feature) gates everything with measurable cost: the
+//! event ring, histograms, and timers all compile to no-ops when it is
+//! off. Counters and gauges stay live in both modes because algorithm
+//! results (`NodeResult::broadcasts`, the message statistics of §4)
+//! are derived from them — they are part of the algorithm's contract,
+//! and each is a single relaxed atomic add.
+//!
+//! ```
+//! use obs::{Obs, Value};
+//!
+//! let obs = Obs::for_node(3);
+//! let calls = obs.counter("clk.calls");
+//! let ns = obs.histogram("clk.call.ns");
+//! let t = obs.timer();
+//! calls.incr();
+//! ns.observe(t.elapsed_ns());
+//! obs.event("broadcast", &[("tour_id", Value::U(7)), ("len", Value::U(1234))]);
+//! assert_eq!(obs.snapshot().counter("clk.calls"), 1);
+//! ```
+
+pub mod event;
+pub mod metrics;
+
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub use event::{parse_jsonl, write_jsonl, Event, EventRing, Value};
+pub use metrics::{
+    bucket_of, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry, HIST_BUCKETS,
+};
+
+/// Whether the `enabled` feature is compiled in (events, histograms,
+/// timers). Counters/gauges work regardless.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Default event-ring capacity per node.
+pub const DEFAULT_EVENT_CAPACITY: usize = 16 * 1024;
+
+#[derive(Debug)]
+struct ObsInner {
+    node: u32,
+    registry: Registry,
+    events: EventRing,
+    start: Instant,
+}
+
+/// Per-node observability handle: a registry plus an event ring plus a
+/// start instant. Cloning shares the underlying storage. A *disabled*
+/// handle ([`Obs::disabled`]) carries no storage at all — every
+/// operation on it (and on handles resolved from it) is a no-op, which
+/// is what the overhead test compares against.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A handle that records nothing (all resolved metric handles are
+    /// no-ops too).
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A live handle for `node` with the default event capacity.
+    pub fn for_node(node: u32) -> Self {
+        Self::with_capacity(node, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A live handle for `node` with an explicit event-ring capacity.
+    pub fn with_capacity(node: u32, event_capacity: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                node,
+                registry: Registry::new(),
+                events: EventRing::with_capacity(event_capacity),
+                start: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The node id (0 for a disabled handle).
+    pub fn node(&self) -> u32 {
+        self.inner.as_ref().map_or(0, |i| i.node)
+    }
+
+    /// Resolve (get-or-create) a counter handle. Do this once at
+    /// attach time, not in a loop.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .as_ref()
+            .map_or_else(Counter::noop, |i| i.registry.counter(name))
+    }
+
+    /// Resolve a gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .as_ref()
+            .map_or_else(Gauge::noop, |i| i.registry.gauge(name))
+    }
+
+    /// Resolve a histogram handle.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .as_ref()
+            .map_or_else(Histogram::noop, |i| i.registry.histogram(name))
+    }
+
+    /// Nanoseconds since this handle was created (0 when disabled or
+    /// when the `enabled` feature is off).
+    pub fn t_ns(&self) -> u64 {
+        if !ENABLED {
+            return 0;
+        }
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.start.elapsed().as_nanos() as u64)
+    }
+
+    /// Start a duration measurement. Reads the clock only when live
+    /// and compiled in.
+    pub fn timer(&self) -> Timer {
+        if ENABLED && self.inner.is_some() {
+            Timer(Some(Instant::now()))
+        } else {
+            Timer(None)
+        }
+    }
+
+    /// Record a structured event, stamped with [`Obs::t_ns`].
+    pub fn event(&self, kind: &'static str, fields: &[(&'static str, Value)]) {
+        if !ENABLED {
+            return;
+        }
+        if let Some(i) = &self.inner {
+            i.events.record(Event {
+                t_ns: i.start.elapsed().as_nanos() as u64,
+                node: i.node,
+                kind: Cow::Borrowed(kind),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (Cow::Borrowed(*k), v.clone()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Snapshot the metrics registry (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(MetricsSnapshot::default, |i| i.registry.snapshot())
+    }
+
+    /// Copy out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.events.events())
+    }
+
+    /// How many events were evicted because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.events.dropped())
+    }
+
+    /// Render the registry in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.snapshot().prometheus_text()
+    }
+
+    /// Write the buffered events as JSONL.
+    pub fn write_events_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_jsonl(w, &self.events())
+    }
+}
+
+/// A pending duration measurement from [`Obs::timer`].
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(Option<Instant>);
+
+impl Timer {
+    /// Nanoseconds since the timer started (0 for a disabled timer).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    }
+
+    /// Observe the elapsed nanoseconds into `hist` (no-op when the
+    /// timer is disabled, so the clock is never read twice for
+    /// nothing).
+    #[inline]
+    pub fn observe_into(&self, hist: &Histogram) {
+        if self.0.is_some() {
+            hist.observe(self.elapsed_ns());
+        }
+    }
+}
+
+/// Merge many per-node event logs into one timeline sorted by `t_ns`
+/// (ties break by node id). Assumes the nodes' start instants are
+/// close (the drivers create all nodes back-to-back); good enough for
+/// run-profile rendering.
+pub fn merge_timelines(per_node: &[Vec<Event>]) -> Vec<Event> {
+    let mut all: Vec<Event> = per_node.iter().flatten().cloned().collect();
+    all.sort_by_key(|e| (e.t_ns, e.node));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        let c = obs.counter("x");
+        c.incr();
+        assert_eq!(c.get(), 0);
+        obs.event("e", &[]);
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.t_ns(), 0);
+        assert_eq!(obs.timer().elapsed_ns(), 0);
+        assert!(obs.snapshot().counters.is_empty());
+        assert!(!obs.is_live());
+    }
+
+    #[test]
+    fn live_handle_counts_in_both_modes() {
+        let obs = Obs::for_node(5);
+        assert_eq!(obs.node(), 5);
+        obs.counter("a").add(3);
+        assert_eq!(obs.snapshot().counter("a"), 3);
+        let text = obs.prometheus_text();
+        assert!(text.contains("a 3"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn events_record_and_merge() {
+        let a = Obs::with_capacity(0, 8);
+        let b = Obs::with_capacity(1, 8);
+        a.event("x", &[("v", Value::U(1))]);
+        b.event("y", &[]);
+        a.event("z", &[]);
+        let merged = merge_timelines(&[a.events(), b.events()]);
+        assert_eq!(merged.len(), 3);
+        for w in merged.windows(2) {
+            assert!(w[0].t_ns <= w[1].t_ns || w[0].node <= w[1].node);
+        }
+        assert_eq!(a.events_dropped(), 0);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn events_are_noops_when_disabled() {
+        let a = Obs::for_node(0);
+        a.event("x", &[]);
+        assert!(a.events().is_empty());
+        assert_eq!(a.t_ns(), 0);
+        // Counters still work.
+        a.counter("c").incr();
+        assert_eq!(a.snapshot().counter("c"), 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn timer_feeds_histogram() {
+        let obs = Obs::for_node(0);
+        let h = obs.histogram("ns");
+        let t = obs.timer();
+        std::hint::black_box(42);
+        t.observe_into(&h);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

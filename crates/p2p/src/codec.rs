@@ -27,11 +27,13 @@ pub fn encode(msg: &Message) -> Bytes {
     match msg {
         Message::TourFound {
             from,
+            id,
             length,
             order,
         } => {
             buf.put_u8(TAG_TOUR);
             buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*id);
             buf.put_i64_le(*length);
             buf.put_u32_le(order.len() as u32);
             for &c in order {
@@ -61,10 +63,11 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
     let tag = payload.get_u8();
     match tag {
         TAG_TOUR => {
-            if payload.remaining() < 8 + 8 + 4 {
+            if payload.remaining() < 8 + 8 + 8 + 4 {
                 return Err(err("truncated TourFound header"));
             }
             let from = payload.get_u64_le() as usize;
+            let id = payload.get_u64_le();
             let length = payload.get_i64_le();
             let n = payload.get_u32_le() as usize;
             if payload.remaining() != 4 * n {
@@ -76,6 +79,7 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
             }
             Ok(Message::TourFound {
                 from,
+                id,
                 length,
                 order,
             })
@@ -139,6 +143,7 @@ mod tests {
     fn roundtrip_all_variants() {
         roundtrip(Message::TourFound {
             from: 5,
+            id: u64::MAX,
             length: -123456789,
             order: (0..777).collect(),
         });
@@ -153,6 +158,7 @@ mod tests {
     fn roundtrip_empty_order() {
         roundtrip(Message::TourFound {
             from: 1,
+            id: 0,
             length: 0,
             order: vec![],
         });
@@ -166,6 +172,7 @@ mod tests {
         // Tour claiming more cities than bytes present.
         let mut bad = vec![TAG_TOUR];
         bad.extend_from_slice(&5u64.to_le_bytes());
+        bad.extend_from_slice(&11u64.to_le_bytes());
         bad.extend_from_slice(&7i64.to_le_bytes());
         bad.extend_from_slice(&100u32.to_le_bytes());
         bad.extend_from_slice(&[1, 2, 3]); // not 400 bytes
@@ -178,6 +185,7 @@ mod tests {
             Message::Leave { from: 2 },
             Message::TourFound {
                 from: 1,
+                id: crate::message::broadcast_id(1, 42),
                 length: 99,
                 order: vec![3, 1, 2, 0],
             },

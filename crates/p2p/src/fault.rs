@@ -114,11 +114,42 @@ pub struct FaultyTransport<T: Transport> {
     rng: SmallRng,
     pending: VecDeque<Message>,
     stats: FaultStats,
+    probes: FaultProbes,
+}
+
+/// Injected-fault counters mirrored into an obs registry (no-ops
+/// unless created via [`FaultyTransport::with_obs`]). Kept in sync
+/// with [`FaultStats`] at injection time, not copied after the fact.
+struct FaultProbes {
+    c_dropped: obs_api::Counter,
+    c_duplicated: obs_api::Counter,
+    c_reordered: obs_api::Counter,
+    c_corrupted_delivered: obs_api::Counter,
+    c_corrupted_discarded: obs_api::Counter,
+}
+
+impl FaultProbes {
+    fn resolve(obs: &obs_api::Obs) -> Self {
+        FaultProbes {
+            c_dropped: obs.counter("fault.dropped"),
+            c_duplicated: obs.counter("fault.duplicated"),
+            c_reordered: obs.counter("fault.reordered"),
+            c_corrupted_delivered: obs.counter("fault.corrupted_delivered"),
+            c_corrupted_discarded: obs.counter("fault.corrupted_discarded"),
+        }
+    }
 }
 
 impl<T: Transport> FaultyTransport<T> {
     /// Wrap `inner`, deriving the RNG from `cfg.seed` and the node id.
     pub fn new(inner: T, cfg: FaultConfig) -> Self {
+        Self::with_obs(inner, cfg, obs_api::Obs::disabled())
+    }
+
+    /// [`FaultyTransport::new`] plus an observability handle: every
+    /// injected fault also increments a `fault.*` counter in its
+    /// registry.
+    pub fn with_obs(inner: T, cfg: FaultConfig, obs: obs_api::Obs) -> Self {
         cfg.assert_valid();
         let seed = cfg
             .seed
@@ -130,6 +161,7 @@ impl<T: Transport> FaultyTransport<T> {
             rng: SmallRng::seed_from_u64(seed),
             pending: VecDeque::new(),
             stats: FaultStats::default(),
+            probes: FaultProbes::resolve(&obs),
         }
     }
 
@@ -161,16 +193,19 @@ impl<T: Transport> FaultyTransport<T> {
         while let Some(msg) = self.inner.try_recv() {
             if self.rng.gen_bool(self.cfg.drop) {
                 self.stats.dropped += 1;
+                self.probes.c_dropped.incr();
                 continue;
             }
             let msg = if self.rng.gen_bool(self.cfg.corrupt) {
                 match self.corrupt(&msg) {
                     Some(m) => {
                         self.stats.corrupted_delivered += 1;
+                        self.probes.c_corrupted_delivered.incr();
                         m
                     }
                     None => {
                         self.stats.corrupted_discarded += 1;
+                        self.probes.c_corrupted_discarded.incr();
                         continue;
                     }
                 }
@@ -179,6 +214,7 @@ impl<T: Transport> FaultyTransport<T> {
             };
             let copies = if self.rng.gen_bool(self.cfg.duplicate) {
                 self.stats.duplicated += 1;
+                self.probes.c_duplicated.incr();
                 2
             } else {
                 1
@@ -186,6 +222,7 @@ impl<T: Transport> FaultyTransport<T> {
             for _ in 0..copies {
                 if !self.pending.is_empty() && self.rng.gen_bool(self.cfg.reorder) {
                     self.stats.reordered += 1;
+                    self.probes.c_reordered.incr();
                     let at = self.rng.gen_range(0..self.pending.len());
                     self.pending.insert(at, msg.clone());
                 } else {
@@ -258,6 +295,28 @@ mod tests {
     }
 
     #[test]
+    fn obs_counters_mirror_fault_stats() {
+        let (mut a, b) = pair();
+        let obs = obs_api::Obs::for_node(1);
+        let cfg = FaultConfig {
+            drop: 0.3,
+            duplicate: 0.2,
+            reorder: 0.2,
+            corrupt: 0.0,
+            seed: 99,
+        };
+        let mut b = FaultyTransport::with_obs(b, cfg, obs.clone());
+        flood(&mut a, 300);
+        let _ = b.drain();
+        let stats = b.stats();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("fault.dropped"), stats.dropped);
+        assert_eq!(snap.counter("fault.duplicated"), stats.duplicated);
+        assert_eq!(snap.counter("fault.reordered"), stats.reordered);
+        assert!(stats.dropped > 0 && stats.duplicated > 0, "{stats:?}");
+    }
+
+    #[test]
     fn drop_rate_loses_roughly_that_fraction() {
         let (mut a, b) = pair();
         let mut b = FaultyTransport::new(b, FaultConfig::drop_rate(0.5, 42));
@@ -324,6 +383,7 @@ mod tests {
                 1,
                 Message::TourFound {
                     from: 0,
+                    id: 3,
                     length: 1000,
                     order: (0..40).collect(),
                 },
@@ -338,6 +398,7 @@ mod tests {
         // discarded it, or a delivered message differs from the original.
         let pristine = Message::TourFound {
             from: 0,
+            id: 3,
             length: 1000,
             order: (0..40).collect(),
         };

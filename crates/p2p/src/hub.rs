@@ -17,6 +17,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 
+use obs_api::{Obs, Value};
+
 use crate::message::NodeId;
 use crate::tcp::TcpConfig;
 use crate::topology::Topology;
@@ -26,27 +28,49 @@ use crate::NetError;
 pub struct Hub {
     addr: SocketAddr,
     thread: Option<JoinHandle<()>>,
+    obs: Obs,
 }
 
 impl Hub {
     /// Start a hub on `addr` (port 0 for ephemeral) for a network of
-    /// `expected` nodes with the given topology.
+    /// `expected` nodes with the given topology. Bootstrap is silent;
+    /// use [`Hub::start_with`] to trace joins and rejections.
     pub fn start(addr: &str, expected: usize, topology: Topology) -> Result<Hub, NetError> {
+        Self::start_with(addr, expected, topology, Obs::disabled())
+    }
+
+    /// [`Hub::start`] with an observability handle: every accepted join
+    /// (`hub.join`), rejected request (`hub.reject`), and bootstrap
+    /// completion (`hub.complete`) is recorded as a structured event
+    /// instead of the old `eprintln!` noise.
+    pub fn start_with(
+        addr: &str,
+        expected: usize,
+        topology: Topology,
+        obs: Obs,
+    ) -> Result<Hub, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let loop_obs = obs.clone();
         let thread = std::thread::Builder::new()
             .name("p2p-hub".into())
-            .spawn(move || hub_loop(listener, expected, topology))
+            .spawn(move || hub_loop(listener, expected, topology, loop_obs))
             .expect("spawn hub thread");
         Ok(Hub {
             addr,
             thread: Some(thread),
+            obs,
         })
     }
 
     /// Address nodes should dial.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The hub's observability handle (disabled for [`Hub::start`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Wait until all expected nodes joined and the hub retired.
@@ -57,18 +81,35 @@ impl Hub {
     }
 }
 
-fn hub_loop(listener: TcpListener, expected: usize, topology: Topology) {
+fn hub_loop(listener: TcpListener, expected: usize, topology: Topology, obs: Obs) {
+    let c_joins = obs.counter("hub.joins");
+    let c_rejects = obs.counter("hub.rejects");
     let mut joined: Vec<SocketAddr> = Vec::with_capacity(expected);
     while joined.len() < expected {
         let (stream, _) = match listener.accept() {
             Ok(x) => x,
             Err(_) => return,
         };
-        if let Err(e) = serve_one(stream, &mut joined, expected, topology) {
-            // A malformed join attempt doesn't kill the hub.
-            eprintln!("hub: rejected join: {e}");
+        match serve_one(stream, &mut joined, expected, topology) {
+            Ok((id, neighbors)) => {
+                c_joins.incr();
+                obs.event(
+                    "hub.join",
+                    &[
+                        ("id", Value::U(id as u64)),
+                        ("neighbors", Value::U(neighbors as u64)),
+                        ("joined", Value::U(joined.len() as u64)),
+                    ],
+                );
+            }
+            Err(e) => {
+                // A malformed join attempt doesn't kill the hub.
+                c_rejects.incr();
+                obs.event("hub.reject", &[("error", Value::S(e.to_string()))]);
+            }
         }
     }
+    obs.event("hub.complete", &[("nodes", Value::U(joined.len() as u64))]);
 }
 
 fn serve_one(
@@ -76,7 +117,7 @@ fn serve_one(
     joined: &mut Vec<SocketAddr>,
     expected: usize,
     topology: Topology,
-) -> Result<(), NetError> {
+) -> Result<(NodeId, usize), NetError> {
     // Bound the request read: a connector that never sends its JOIN
     // line must not wedge the hub for everyone else.
     stream
@@ -108,7 +149,7 @@ fn serve_one(
         neighbors.join(";")
     )?;
     w.flush()?;
-    Ok(())
+    Ok((id, neighbors.len()))
 }
 
 /// A node's view after bootstrap: its id and the already-joined
@@ -262,6 +303,36 @@ mod tests {
         let ids: Vec<NodeId> = infos[3].neighbors.iter().map(|&(i, _)| i).collect();
         assert_eq!(ids.len(), 2);
         assert!(ids.contains(&2) && ids.contains(&0));
+    }
+
+    #[test]
+    fn hub_records_join_and_reject_events() {
+        let obs = Obs::for_node(u32::MAX);
+        let hub = Hub::start_with("127.0.0.1:0", 2, Topology::Ring, obs.clone()).unwrap();
+        let addr = hub.addr();
+        // A garbage request first: must be rejected, not crash the hub.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            writeln!(s, "NONSENSE").unwrap();
+        }
+        // Give the hub a moment to process the bad request before the
+        // real joins race it.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        join_via_hub(addr, "127.0.0.1:40020".parse().unwrap()).unwrap();
+        join_via_hub(addr, "127.0.0.1:40021".parse().unwrap()).unwrap();
+        hub.join();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hub.joins"), 2);
+        assert_eq!(snap.counter("hub.rejects"), 1);
+        if obs_api::ENABLED {
+            let events = obs.events();
+            assert_eq!(events.iter().filter(|e| e.kind == "hub.join").count(), 2);
+            assert_eq!(events.iter().filter(|e| e.kind == "hub.reject").count(), 1);
+            assert_eq!(
+                events.iter().filter(|e| e.kind == "hub.complete").count(),
+                1
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod transport;
 
 pub use fault::{FaultConfig, FaultyTransport};
 pub use memory::InMemoryNetwork;
-pub use message::{Message, NodeId};
+pub use message::{broadcast_id, Message, NodeId};
 pub use tcp::TcpConfig;
 pub use topology::Topology;
 pub use transport::Transport;

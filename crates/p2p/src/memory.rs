@@ -141,6 +141,7 @@ mod tests {
         let (mut eps, stats) = InMemoryNetwork::build(8, Topology::Hypercube);
         let msg = Message::TourFound {
             from: 0,
+            id: 1,
             length: 42,
             order: vec![0, 1, 2],
         };

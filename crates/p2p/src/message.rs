@@ -17,6 +17,11 @@ pub enum Message {
     TourFound {
         /// Originating node.
         from: NodeId,
+        /// Broadcast id, unique per originating broadcast
+        /// (`origin << 32 | seq`). Preserved verbatim on epidemic
+        /// forwarding so a tour's migration can be traced hub-to-leaf
+        /// in the event logs.
+        id: u64,
         /// Tour length (precomputed by the sender so receivers can
         /// filter without touching the instance).
         length: i64,
@@ -38,6 +43,14 @@ pub enum Message {
     },
 }
 
+/// Compose a per-broadcast tour id from the originating node and its
+/// local broadcast sequence number. The high half carries the origin,
+/// so `id >> 32` recovers where a tour was first found even after it
+/// has been forwarded across the hypercube.
+pub fn broadcast_id(origin: NodeId, seq: u32) -> u64 {
+    ((origin as u64) << 32) | seq as u64
+}
+
 impl Message {
     /// The sender of the message.
     pub fn from(&self) -> NodeId {
@@ -52,7 +65,7 @@ impl Message {
     /// experiment to report communication volume).
     pub fn wire_size(&self) -> usize {
         match self {
-            Message::TourFound { order, .. } => 1 + 8 + 8 + 4 + 4 * order.len(),
+            Message::TourFound { order, .. } => 1 + 8 + 8 + 8 + 4 + 4 * order.len(),
             Message::OptimumFound { .. } => 1 + 8 + 8,
             Message::Leave { .. } => 1 + 8,
         }
@@ -73,6 +86,7 @@ mod tests {
         assert_eq!(
             Message::TourFound {
                 from: 2,
+                id: broadcast_id(2, 0),
                 length: 10,
                 order: vec![0, 1, 2]
             }
@@ -82,14 +96,24 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_id_recovers_origin() {
+        let id = broadcast_id(5, 17);
+        assert_eq!(id >> 32, 5);
+        assert_eq!(id & 0xffff_ffff, 17);
+        assert_ne!(broadcast_id(5, 17), broadcast_id(17, 5));
+    }
+
+    #[test]
     fn wire_size_scales_with_tour() {
         let small = Message::TourFound {
             from: 0,
+            id: 0,
             length: 0,
             order: vec![0; 10],
         };
         let big = Message::TourFound {
             from: 0,
+            id: 0,
             length: 0,
             order: vec![0; 1000],
         };

@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use obs_api::{Counter, Gauge, Obs, Value};
 use parking_lot::{Mutex, RwLock};
 
 use crate::codec::{read_frame, write_frame};
@@ -112,6 +113,40 @@ struct Shared {
     /// In-flight incoming handshakes (bounded by `handshake_timeout`).
     handshakes: Mutex<Vec<JoinHandle<()>>>,
     cfg: TcpConfig,
+    obs: Obs,
+    probes: TcpProbes,
+}
+
+/// Wire-level metric handles, resolved once at bind time. All no-ops
+/// unless the endpoint was created with [`TcpEndpoint::bind_with_obs`].
+struct TcpProbes {
+    /// Frame bytes written to / read from sockets (incl. the 4-byte
+    /// length prefix).
+    c_bytes_out: Counter,
+    c_bytes_in: Counter,
+    /// Messages sent / received at the transport surface.
+    c_msgs_out: Counter,
+    c_msgs_in: Counter,
+    /// Extra connection attempts after a first failure.
+    c_retries: Counter,
+    /// Sends refused because a peer's outbound queue was full.
+    c_backpressure: Counter,
+    /// Current total outbound-queue depth across peers.
+    g_queue: Gauge,
+}
+
+impl TcpProbes {
+    fn resolve(obs: &Obs) -> Self {
+        TcpProbes {
+            c_bytes_out: obs.counter("tcp.bytes_out"),
+            c_bytes_in: obs.counter("tcp.bytes_in"),
+            c_msgs_out: obs.counter("tcp.msgs_out"),
+            c_msgs_in: obs.counter("tcp.msgs_in"),
+            c_retries: obs.counter("tcp.retries"),
+            c_backpressure: obs.counter("tcp.backpressure"),
+            g_queue: obs.gauge("tcp.queue_depth"),
+        }
+    }
 }
 
 /// A TCP-backed [`Transport`].
@@ -132,9 +167,22 @@ impl TcpEndpoint {
 
     /// Bind with an explicit timeout/retry configuration.
     pub fn bind_with(id: NodeId, addr: &str, cfg: TcpConfig) -> Result<Self, NetError> {
+        Self::bind_with_obs(id, addr, cfg, Obs::disabled())
+    }
+
+    /// [`TcpEndpoint::bind_with`] plus an observability handle: bytes
+    /// in/out, send-queue depth, retry counts, and peer up/down events
+    /// flow into its registry.
+    pub fn bind_with_obs(
+        id: NodeId,
+        addr: &str,
+        cfg: TcpConfig,
+        obs: Obs,
+    ) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let listen_addr = listener.local_addr()?;
         let (inbox_tx, inbox_rx) = unbounded();
+        let probes = TcpProbes::resolve(&obs);
         let shared = Arc::new(Shared {
             peers: Mutex::new(HashMap::new()),
             neighbors: RwLock::new(Vec::new()),
@@ -143,6 +191,8 @@ impl TcpEndpoint {
             readers: Mutex::new(Vec::new()),
             handshakes: Mutex::new(Vec::new()),
             cfg,
+            obs,
+            probes,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -179,6 +229,7 @@ impl TcpEndpoint {
         let mut last_err = NetError::Closed;
         for attempt in 0..=cfg.connect_retries {
             if attempt > 0 {
+                self.shared.probes.c_retries.incr();
                 std::thread::sleep(backoff);
                 backoff = (backoff * 2).min(cfg.backoff_max);
             }
@@ -279,15 +330,23 @@ fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
         .spawn(move || reader_loop(read_half, peer, reader_shared))
         .expect("spawn reader thread");
     shared.readers.lock().push(reader);
+    shared
+        .obs
+        .event("tcp.peer_up", &[("peer", Value::U(peer as u64))]);
 }
 
 /// Forget a peer (connection error or departure). The socket is
 /// closed, which terminates its reader and writer threads.
 fn drop_peer(shared: &Shared, peer: NodeId) {
-    if let Some(p) = shared.peers.lock().remove(&peer) {
+    let known = shared.peers.lock().remove(&peer).map(|p| {
         let _ = p.stream.shutdown(Shutdown::Both);
-    }
+    });
     shared.neighbors.write().retain(|&n| n != peer);
+    if known.is_some() {
+        shared
+            .obs
+            .event("tcp.peer_down", &[("peer", Value::U(peer as u64))]);
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -342,13 +401,17 @@ fn handshake_incoming(mut stream: TcpStream, shared: Arc<Shared>) {
 /// fails (stall past the write timeout, or connection loss).
 fn writer_loop(mut stream: TcpStream, rx: Receiver<Message>, peer: NodeId, shared: Arc<Shared>) {
     while let Ok(msg) = rx.recv() {
+        shared.probes.g_queue.add(-1);
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
+        let frame_bytes = (msg.wire_size() + 4) as u64;
         if write_frame(&mut stream, &msg).is_err() {
             drop_peer(&shared, peer);
             break;
         }
+        shared.probes.c_bytes_out.add(frame_bytes);
+        shared.probes.c_msgs_out.incr();
     }
 }
 
@@ -359,6 +422,8 @@ fn reader_loop(mut stream: TcpStream, peer: NodeId, shared: Arc<Shared>) {
         }
         match read_frame(&mut stream) {
             Ok(msg) => {
+                shared.probes.c_bytes_in.add((msg.wire_size() + 4) as u64);
+                shared.probes.c_msgs_in.incr();
                 let leaving = matches!(msg, Message::Leave { .. });
                 if shared.inbox_tx.send(msg).is_err() {
                     break;
@@ -399,8 +464,14 @@ impl Transport for TcpEndpoint {
                 .clone()
         };
         match tx.try_send(msg) {
-            Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(NetError::Backpressure(to)),
+            Ok(()) => {
+                self.shared.probes.g_queue.add(1);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.probes.c_backpressure.incr();
+                Err(NetError::Backpressure(to))
+            }
             Err(TrySendError::Disconnected(_)) => Err(NetError::UnknownPeer(to)),
         }
     }
@@ -445,6 +516,7 @@ mod tests {
 
         let msg = Message::TourFound {
             from: 0,
+            id: 7,
             length: 1234,
             order: (0..100).collect(),
         };
@@ -455,6 +527,50 @@ mod tests {
         let reply = Message::OptimumFound { from: 1, length: 9 };
         b.send(0, reply.clone()).unwrap();
         assert_eq!(recv_with_timeout(&mut a, 2000), Some(reply));
+    }
+
+    #[test]
+    fn obs_counts_bytes_and_messages_both_directions() {
+        let obs_a = Obs::for_node(0);
+        let obs_b = Obs::for_node(1);
+        let mut a =
+            TcpEndpoint::bind_with_obs(0, "127.0.0.1:0", TcpConfig::default(), obs_a.clone())
+                .unwrap();
+        let mut b =
+            TcpEndpoint::bind_with_obs(1, "127.0.0.1:0", TcpConfig::default(), obs_b.clone())
+                .unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        wait_for_neighbors(&b, 1, 2000);
+
+        let msg = Message::TourFound {
+            from: 0,
+            id: 1,
+            length: 10,
+            order: (0..50).collect(),
+        };
+        let frame_bytes = (msg.wire_size() + 4) as u64;
+        a.send(1, msg.clone()).unwrap();
+        assert_eq!(recv_with_timeout(&mut b, 2000), Some(msg));
+
+        // The writer thread records bytes after the write completes;
+        // give it a moment.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while obs_a.snapshot().counter("tcp.bytes_out") < frame_bytes
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let sa = obs_a.snapshot();
+        let sb = obs_b.snapshot();
+        assert_eq!(sa.counter("tcp.bytes_out"), frame_bytes);
+        assert_eq!(sa.counter("tcp.msgs_out"), 1);
+        assert_eq!(sb.counter("tcp.bytes_in"), frame_bytes);
+        assert_eq!(sb.counter("tcp.msgs_in"), 1);
+        // The queue drained back to zero once the frame was written.
+        assert_eq!(sa.gauges.get("tcp.queue_depth").copied(), Some(0));
+        if obs_api::ENABLED {
+            assert!(obs_b.events().iter().any(|e| e.kind == "tcp.peer_up"));
+        }
     }
 
     #[test]
@@ -545,6 +661,7 @@ mod tests {
         // Flood the stalled peer with big frames until backpressure.
         let big = Message::TourFound {
             from: 0,
+            id: 0,
             length: 1,
             order: (0..200_000).collect(),
         };

@@ -8,13 +8,18 @@ use proptest::prelude::*;
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u16>(), any::<i64>(), prop::collection::vec(any::<u32>(), 0..500)).prop_map(
-            |(from, length, order)| Message::TourFound {
+        (
+            any::<u16>(),
+            any::<u64>(),
+            any::<i64>(),
+            prop::collection::vec(any::<u32>(), 0..500)
+        )
+            .prop_map(|(from, id, length, order)| Message::TourFound {
                 from: from as usize,
+                id,
                 length,
                 order,
-            }
-        ),
+            }),
         (any::<u16>(), any::<i64>()).prop_map(|(from, length)| Message::OptimumFound {
             from: from as usize,
             length,
