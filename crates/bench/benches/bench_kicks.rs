@@ -14,7 +14,7 @@ fn bench_kicks(c: &mut Criterion) {
         g.bench_function(strategy.name(), |b| {
             let mut tour = Tour::identity(2000);
             let mut rng = SmallRng::seed_from_u64(1);
-            b.iter(|| black_box(kick(strategy, &mut tour, &nl, &mut rng)))
+            b.iter(|| black_box(kick(strategy, &inst, &mut tour, &nl, &mut rng)))
         });
     }
     g.finish();

@@ -6,6 +6,7 @@ pub mod faults;
 pub mod figure2;
 pub mod figure3;
 pub mod messages;
+pub mod perf;
 pub mod profile;
 pub mod table1;
 pub mod table2;
@@ -34,13 +35,14 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "ablation" => ablation::run(scale),
         "faults" => faults::run(scale),
         "profile" => profile::run(scale),
+        "perf" => perf::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// All experiment ids in suggested execution order.
-pub const ALL: [&str; 12] = [
+pub const ALL: [&str; 13] = [
     "table3", "table4", "table5", "table1", "table2", "figure2", "figure3", "messages",
-    "variator", "ablation", "faults", "profile",
+    "variator", "ablation", "faults", "profile", "perf",
 ];

@@ -1,0 +1,246 @@
+//! `perf` — tour-representation benchmark: fixed-seed Chained LK on the
+//! array tour vs the two-level list.
+//!
+//! Both engines run the *identical* search (same seed → same kick
+//! sequence → same final tour, guaranteed by the directed-orientation
+//! lockstep of the two representations), so the comparison isolates
+//! pure data-structure cost: O(n) array reversals vs O(√n) two-level
+//! flips. The sweep over instance sizes locates the crossover that
+//! justifies `ChainedLkConfig::tl_threshold`, and the largest size
+//! demonstrates the headline speedup.
+//!
+//! Outputs `perf.md` + `perf_speedup.csv` like every experiment, plus
+//! `BENCH_lk.json` under `target/repro/` with the machine-readable
+//! measurements (consumed by CI as an artifact).
+//!
+//! ```text
+//! cargo run --release -p bench -- perf            # full sweep, ≥10k cities
+//! cargo run --release -p bench -- perf --smoke    # small sizes, CI-fast
+//! ```
+
+use std::fmt::Write as _;
+
+use lk::{Budget, ChainedLkConfig, ClkEngine};
+use tsp_core::{generate, NeighborLists};
+
+use crate::report::{fmt_secs, Report};
+use crate::testbed::Scale;
+
+/// One size point, both representations.
+struct SizePoint {
+    n: usize,
+    kicks: u64,
+    array_secs: f64,
+    twolevel_secs: f64,
+    array_len: i64,
+    twolevel_len: i64,
+}
+
+impl SizePoint {
+    fn speedup(&self) -> f64 {
+        self.array_secs / self.twolevel_secs.max(1e-9)
+    }
+    fn lengths_match(&self) -> bool {
+        self.array_len == self.twolevel_len
+    }
+}
+
+fn measure(n: usize, kicks: u64, seed: u64) -> SizePoint {
+    let inst = generate::uniform(n, 1_000_000.0, seed);
+    let nl = NeighborLists::build(&inst, 10);
+    let cfg = ChainedLkConfig {
+        seed,
+        ..Default::default()
+    };
+    let mut point = SizePoint {
+        n,
+        kicks,
+        array_secs: 0.0,
+        twolevel_secs: 0.0,
+        array_len: 0,
+        twolevel_len: 0,
+    };
+    for two_level in [false, true] {
+        let mut engine = ClkEngine::with_representation(&inst, &nl, cfg.clone(), two_level);
+        let res = engine.run(&Budget::kicks(kicks));
+        assert_eq!(res.kicks, kicks);
+        if two_level {
+            point.twolevel_secs = res.seconds;
+            point.twolevel_len = res.length;
+        } else {
+            point.array_secs = res.seconds;
+            point.array_len = res.length;
+        }
+    }
+    point
+}
+
+/// Dispatcher entry (registry + `bench all`): sweep sized by the scale.
+pub fn run(scale: &Scale) -> Report {
+    // `--full` (size_factor 1.0) runs the headline 10k+ point; the
+    // quick scale stays in smoke territory.
+    run_mode(scale.size_factor < 1.0)
+}
+
+/// Run the sweep. `smoke` keeps sizes and budgets CI-friendly; the full
+/// mode includes the ≥10k-city headline measurement.
+pub fn run_mode(smoke: bool) -> Report {
+    // (cities, kicks): kick budgets shrink with size so the full sweep
+    // stays in minutes; every point still spends most of its time in
+    // chained iterations, which is where the representations differ.
+    let points: &[(usize, u64)] = if smoke {
+        &[(500, 60), (2_000, 60)]
+    } else {
+        &[
+            (1_000, 400),
+            (5_000, 200),
+            (10_000, 200),
+            (20_000, 100),
+            (50_000, 50),
+            (100_000, 50),
+            (200_000, 25),
+        ]
+    };
+    let seed = 4242u64;
+
+    let mut report = Report::new(
+        "perf",
+        format!(
+            "Tour representation: array vs two-level list ({} sweep)",
+            if smoke { "smoke" } else { "full" }
+        ),
+    );
+    report.para(
+        "Identical fixed-seed Chained-LK runs on both tour \
+         representations. The lockstep flip rule makes the searches \
+         bit-identical, so equal final lengths are asserted, and the \
+         timing ratio is pure data-structure cost.",
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut results = Vec::new();
+    for &(n, kicks) in points {
+        let p = measure(n, kicks, seed);
+        assert!(
+            p.lengths_match(),
+            "representations diverged at n={}: array {} vs two-level {}",
+            p.n,
+            p.array_len,
+            p.twolevel_len
+        );
+        rows.push(vec![
+            p.n.to_string(),
+            p.kicks.to_string(),
+            fmt_secs(p.array_secs),
+            fmt_secs(p.twolevel_secs),
+            format!("{:.2}x", p.speedup()),
+            p.array_len.to_string(),
+        ]);
+        csv.push(format!(
+            "{},{},{:.6},{:.6},{:.3},{},{}",
+            p.n,
+            p.kicks,
+            p.array_secs,
+            p.twolevel_secs,
+            p.speedup(),
+            p.array_len,
+            p.twolevel_len
+        ));
+        results.push(p);
+    }
+    report.table(
+        &["cities", "kicks", "array", "two-level", "speedup", "length (both)"],
+        &rows,
+    );
+    report.series(
+        "speedup",
+        "n,kicks,array_secs,twolevel_secs,speedup,array_len,twolevel_len",
+        csv,
+    );
+
+    // Crossover: the smallest measured size where the two-level list
+    // wins — evidence for the `tl_threshold` default.
+    let threshold = ChainedLkConfig::default().tl_threshold;
+    let crossover = results.iter().find(|p| p.speedup() >= 1.0).map(|p| p.n);
+    match crossover {
+        Some(x) => report.para(&format!(
+            "Two-level wins from **n = {x}** in this sweep; \
+             `tl_threshold` default is {threshold}."
+        )),
+        None => report.para(&format!(
+            "Array won at every measured size (largest: {}); \
+             `tl_threshold` default is {threshold}.",
+            results.last().map_or(0, |p| p.n)
+        )),
+    }
+    if let Some(big) = results.iter().rev().find(|p| p.n >= 10_000) {
+        report.para(&format!(
+            "Headline: **{:.2}x** at n = {} with identical final length {}.",
+            big.speedup(),
+            big.n,
+            big.array_len
+        ));
+    }
+
+    write_bench_json(&mut report, smoke, seed, threshold, &results);
+    report
+}
+
+/// Machine-readable results for CI: `target/repro/BENCH_lk.json`.
+fn write_bench_json(
+    report: &mut Report,
+    smoke: bool,
+    seed: u64,
+    threshold: usize,
+    results: &[SizePoint],
+) {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"experiment\": \"perf\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"tl_threshold\": {threshold},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, p) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"kicks\": {}, \"array_secs\": {:.6}, \
+             \"twolevel_secs\": {:.6}, \"speedup\": {:.3}, \
+             \"array_len\": {}, \"twolevel_len\": {}, \
+             \"lengths_match\": {}}}{}",
+            p.n,
+            p.kicks,
+            p.array_secs,
+            p.twolevel_secs,
+            p.speedup(),
+            p.array_len,
+            p.twolevel_len,
+            p.lengths_match(),
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let path = Report::out_dir().join("BENCH_lk.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => report.para(&format!("Machine-readable: `{}`.", path.display())),
+        Err(e) => report.para(&format!("_Failed to write BENCH_lk.json: {e}._")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_runs_and_writes_json() {
+        let report = run_mode(true);
+        assert!(report.markdown.contains("speedup"));
+        assert!(report.csv.iter().any(|(n, _, _)| n == "speedup"));
+        let json = std::fs::read_to_string(Report::out_dir().join("BENCH_lk.json"))
+            .expect("BENCH_lk.json written");
+        assert!(json.contains("\"lengths_match\": true"));
+        assert!(!json.contains("\"lengths_match\": false"));
+    }
+}

@@ -10,12 +10,13 @@
 //! cargo run -p bench -- list
 //! ```
 
-use bench::experiments::{self, profile};
+use bench::experiments::{self, perf, profile};
 use bench::testbed::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if full { Scale::full() } else { Scale::quick() };
     let mut positional = args.iter().filter(|a| !a.starts_with("--"));
     let command = positional.next().map(|s| s.as_str()).unwrap_or("list");
@@ -25,12 +26,17 @@ fn main() {
             println!("experiments: {}", experiments::ALL.join(", "));
             println!("usage: bench <id>|all [--full]");
             println!("       bench profile [<tsplib-file>|<testbed-name>] [--full]");
+            println!("       bench perf [--smoke]   # array vs two-level tour sweep");
         }
         "all" => {
             for id in experiments::ALL {
                 run_one(id, &scale);
             }
             println!("all reports written to target/repro/");
+        }
+        "perf" => {
+            // Full sweep (≥10k cities) unless --smoke caps it for CI.
+            perf::run_mode(smoke).write().expect("write report");
         }
         "profile" => {
             let report = match positional.next() {

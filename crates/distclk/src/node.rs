@@ -1,6 +1,6 @@
 //! The per-node driver: the paper's Figure 1 loop over any transport.
 
-use lk::{Budget, ChainedLk, ChainedLkConfig, Stopwatch, Trace};
+use lk::{Budget, ChainedLkConfig, ClkEngine, Stopwatch, Trace};
 use obs_api::{Counter, Histogram, MetricsSnapshot, Obs, Value};
 use p2p::{broadcast_id, Message, NodeId, Topology, Transport};
 use tsp_core::{Instance, NeighborLists, Tour};
@@ -124,7 +124,7 @@ pub struct NodeResult {
 /// One node of the distributed algorithm.
 pub struct NodeDriver<'a, T: Transport> {
     id: NodeId,
-    engine: ChainedLk<'a>,
+    engine: ClkEngine<'a>,
     transport: T,
     perturb: Perturbator,
     budget: Budget,
@@ -189,7 +189,11 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                 Construction::SpaceFilling,
             ][id % 4];
         }
-        let mut engine = ChainedLk::new(inst, neighbors, clk_cfg);
+        // The engine picks the tour representation by instance size
+        // (array below `tl_threshold`, two-level above), so large
+        // distributed runs get O(√n) flips without any per-call-site
+        // opt-in.
+        let mut engine = ClkEngine::auto(inst, neighbors, clk_cfg);
         engine.attach_obs(obs.clone());
         let watch = Stopwatch::start();
 
@@ -200,8 +204,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         let h_kick_strength = obs.histogram("node.kick_strength");
 
         let mut tour = engine.construct_tour();
-        engine.optimize(&mut tour);
-        let len = tour.length(inst);
+        let len = engine.optimize_tour(&mut tour);
         c_clk_calls.incr();
         obs.event(
             "node.initial",
@@ -270,21 +273,16 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
     }
 
     /// One CLK call: full LK optimization plus the engine's internal
-    /// chained kicks.
+    /// chained kicks, all in the engine's chosen representation.
     fn clk_call(&mut self, tour: &mut Tour) -> i64 {
-        self.engine.optimize(tour);
-        let mut len = tour.length(self.engine.instance());
-        for _ in 0..self.clk_kicks_per_call {
-            if self.budget.target_met(len)
-                || self
-                    .budget
-                    .time_limit
-                    .is_some_and(|t| self.watch.elapsed() >= t)
-            {
-                break;
-            }
-            len = self.engine.chain_step(tour, len);
-        }
+        let budget = &self.budget;
+        let watch = &self.watch;
+        let len = self
+            .engine
+            .clk_call(tour, self.clk_kicks_per_call, &mut |len| {
+                budget.target_met(len)
+                    || budget.time_limit.is_some_and(|t| watch.elapsed() >= t)
+            });
         self.c_clk_calls.incr();
         len
     }

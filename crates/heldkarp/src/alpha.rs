@@ -131,7 +131,7 @@ pub fn alpha_lists_from_tree(
         }
     }
 
-    NeighborLists::from_flat(k, flat)
+    NeighborLists::from_flat(inst, k, flat)
 }
 
 #[cfg(test)]

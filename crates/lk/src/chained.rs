@@ -9,11 +9,16 @@
 //! This is the "ABCC-CLK" engine of the paper's §2.1/§4.1, with the
 //! kicking strategy injectable — exactly the knob the paper sweeps in
 //! Tables 3–5.
+//!
+//! Every search method is generic over [`TourOps`], so the whole chain
+//! (construct → LK → kick → re-optimize) runs on either the array
+//! [`Tour`] or the [`TwoLevelList`]; [`ClkEngine`] picks the
+//! representation by instance size and hides the dispatch.
 
 use obs_api::{Counter, Histogram, Obs};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tsp_core::{Instance, NeighborLists, Tour};
+use tsp_core::{Instance, NeighborLists, Tour, TourOps, TourRep, TwoLevelList};
 
 use crate::budget::{Budget, Stopwatch, Trace};
 use crate::construct::{construct, Construction};
@@ -37,6 +42,13 @@ pub struct ChainedLkConfig {
     /// Also run an Or-opt pass after each LK pass (cheap extra
     /// neighborhood; off in plain linkern, on by default here).
     pub use_or_opt: bool,
+    /// Instance size at which [`ClkEngine::auto`] switches from the
+    /// array tour to the two-level list. Below the threshold the array's
+    /// cache-friendly O(n) flips win; above it the two-level √n flips
+    /// do. The default is the crossover measured with `bench perf`
+    /// (seed 4242 uniform sweep; see EXPERIMENTS.md): break-even near
+    /// 20k cities, two-level clearly ahead from 50k.
+    pub tl_threshold: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -49,6 +61,7 @@ impl Default for ChainedLkConfig {
             construction: Construction::QuickBoruvka,
             neighbor_k: 10,
             use_or_opt: true,
+            tl_threshold: 50_000,
             seed: 0,
         }
     }
@@ -164,6 +177,11 @@ impl<'a> ChainedLk<'a> {
         self.inst
     }
 
+    /// The engine's configuration.
+    pub fn config(&self) -> &ChainedLkConfig {
+        &self.cfg
+    }
+
     /// Borrow the RNG (the distributed node drives perturbation with
     /// the same stream for reproducibility).
     pub fn rng_mut(&mut self) -> &mut SmallRng {
@@ -179,7 +197,7 @@ impl<'a> ChainedLk<'a> {
     }
 
     /// Fully LK-optimize `tour` (all cities active). Returns the gain.
-    pub fn optimize(&mut self, tour: &mut Tour) -> i64 {
+    pub fn optimize<T: TourOps>(&mut self, tour: &mut T) -> i64 {
         let t = self.obs.timer();
         let mut gain = lin_kernighan(&mut self.lk, &mut self.opt, tour);
         if self.cfg.use_or_opt {
@@ -198,7 +216,7 @@ impl<'a> ChainedLk<'a> {
     /// LK-optimize only around the given seed cities (after a kick the
     /// paper's engine re-optimizes locally; this is what makes chained
     /// iterations cheap).
-    pub fn optimize_around(&mut self, tour: &mut Tour, seeds: &[usize]) -> i64 {
+    pub fn optimize_around<T: TourOps>(&mut self, tour: &mut T, seeds: &[usize]) -> i64 {
         self.opt.deactivate_all();
         for &s in seeds {
             self.opt.activate(s);
@@ -215,55 +233,201 @@ impl<'a> ChainedLk<'a> {
         gain
     }
 
-    /// One chained iteration on `tour` (assumed LK-optimal): kick,
-    /// re-optimize around the kick, keep iff not worse. Returns the
-    /// (possibly negative-gain-rejected) new length.
-    pub fn chain_step(&mut self, tour: &mut Tour, current_len: i64) -> i64 {
+    /// One chained iteration on `tour` (assumed LK-optimal, of length
+    /// `current_len`): kick, re-optimize around the kick, keep iff not
+    /// worse. Returns the new length.
+    ///
+    /// Length bookkeeping is exact-delta (`kick.delta` minus the
+    /// optimization gain); the tour is never re-measured, so a chained
+    /// iteration costs only the local search plus an O(n) order
+    /// snapshot for the revert path.
+    pub fn chain_step<R: TourRep>(&mut self, tour: &mut R, current_len: i64) -> i64 {
         let t = self.obs.timer();
-        let mut trial = tour.clone();
-        let cuts = match kick(self.cfg.kick, &mut trial, self.neighbors, &mut self.rng) {
-            Some(c) => c,
+        let saved = tour.to_order();
+        let k = match kick(self.cfg.kick, self.inst, tour, self.neighbors, &mut self.rng) {
+            Some(k) => k,
             None => return current_len,
         };
         self.probes.c_kicks.incr();
-        let seeds: Vec<usize> = cuts.iter().map(|&p| trial.city_at(p)).collect();
-        self.optimize_around(&mut trial, &seeds);
-        let new_len = trial.length(self.inst);
+        let opt_gain = self.optimize_around(tour, &k.cities);
+        let new_len = current_len + k.delta - opt_gain;
+        debug_assert_eq!(new_len, tour.tour_length(self.inst));
         t.observe_into(&self.probes.h_step_ns);
         if new_len <= current_len {
             self.probes.c_accepts.incr();
-            *tour = trial;
             new_len
         } else {
+            *tour = R::from_order_slice(&saved);
             current_len
         }
     }
 
-    /// Full standalone CLK run: construct, optimize, chain kicks until
-    /// the budget is exhausted.
-    pub fn run(&mut self, budget: &Budget) -> ClkResult {
+    /// One full CLK call on an array tour via representation `R`:
+    /// convert, fully optimize, run `kicks` chained iterations (bailing
+    /// out as soon as `stop(len)` says so), convert back. Returns the
+    /// final length.
+    pub fn clk_call<R: TourRep>(
+        &mut self,
+        tour: &mut Tour,
+        kicks: u64,
+        stop: &mut dyn FnMut(i64) -> bool,
+    ) -> i64 {
+        let before = tour.length(self.inst);
+        let mut rep = R::from_tour(tour);
+        let gain = self.optimize(&mut rep);
+        let mut len = before - gain;
+        for _ in 0..kicks {
+            if stop(len) {
+                break;
+            }
+            len = self.chain_step(&mut rep, len);
+        }
+        *tour = rep.to_tour();
+        len
+    }
+
+    /// Full standalone CLK run on representation `R`: construct,
+    /// optimize, chain kicks until the budget is exhausted.
+    pub fn run_rep<R: TourRep>(&mut self, budget: &Budget) -> ClkResult {
         let watch = Stopwatch::start();
-        let mut tour = self.construct_tour();
-        self.optimize(&mut tour);
-        let mut best_len = tour.length(self.inst);
+        let start = self.construct_tour();
+        let before = start.length(self.inst);
+        let mut rep = R::from_tour(&start);
+        let mut best_len = before - self.optimize(&mut rep);
         let mut trace = Trace::new();
         let mut kicks = 0u64;
         trace.record(watch.secs(), kicks, best_len);
 
         while !budget.exhausted(watch.elapsed(), kicks, best_len) {
-            let new_len = self.chain_step(&mut tour, best_len);
+            let new_len = self.chain_step(&mut rep, best_len);
             kicks += 1;
             if new_len < best_len {
                 best_len = new_len;
                 trace.record(watch.secs(), kicks, best_len);
             }
         }
+        let tour = rep.to_tour();
+        debug_assert_eq!(tour.length(self.inst), best_len);
         ClkResult {
             length: best_len,
             tour,
             kicks,
             seconds: watch.secs(),
             trace,
+        }
+    }
+
+    /// Full standalone CLK run on the array representation.
+    pub fn run(&mut self, budget: &Budget) -> ClkResult {
+        self.run_rep::<Tour>(budget)
+    }
+}
+
+/// A [`ChainedLk`] plus a tour-representation choice.
+///
+/// Callers that should not care about the array-vs-two-level decision
+/// (the distributed node driver, benchmarks, pipelines) go through this
+/// wrapper: [`ClkEngine::auto`] picks the two-level list for instances
+/// of at least [`ChainedLkConfig::tl_threshold`] cities, and every
+/// method dispatches to the chosen representation internally while
+/// keeping an array-`Tour` interface at the boundary.
+pub struct ClkEngine<'a> {
+    inner: ChainedLk<'a>,
+    two_level: bool,
+}
+
+impl<'a> ClkEngine<'a> {
+    /// Create an engine, selecting the representation by instance size.
+    pub fn auto(inst: &'a Instance, neighbors: &'a NeighborLists, cfg: ChainedLkConfig) -> Self {
+        let two_level = inst.len() >= cfg.tl_threshold;
+        ClkEngine {
+            inner: ChainedLk::new(inst, neighbors, cfg),
+            two_level,
+        }
+    }
+
+    /// Create an engine with an explicit representation (benchmarks
+    /// force both to measure the crossover).
+    pub fn with_representation(
+        inst: &'a Instance,
+        neighbors: &'a NeighborLists,
+        cfg: ChainedLkConfig,
+        two_level: bool,
+    ) -> Self {
+        ClkEngine {
+            inner: ChainedLk::new(inst, neighbors, cfg),
+            two_level,
+        }
+    }
+
+    /// Name of the active representation (`"array"` / `"twolevel"`).
+    pub fn representation(&self) -> &'static str {
+        if self.two_level {
+            TwoLevelList::NAME
+        } else {
+            Tour::NAME
+        }
+    }
+
+    /// See [`ChainedLk::attach_obs`].
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.inner.attach_obs(obs);
+    }
+
+    /// See [`ChainedLk::obs`].
+    pub fn obs(&self) -> &Obs {
+        self.inner.obs()
+    }
+
+    /// The engine's instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.inner.instance()
+    }
+
+    /// See [`ChainedLk::rng_mut`].
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
+        self.inner.rng_mut()
+    }
+
+    /// See [`ChainedLk::construct_tour`].
+    pub fn construct_tour(&mut self) -> Tour {
+        self.inner.construct_tour()
+    }
+
+    /// Fully LK-optimize `tour` in the chosen representation. Returns
+    /// the new length.
+    pub fn optimize_tour(&mut self, tour: &mut Tour) -> i64 {
+        let before = tour.length(self.inner.inst);
+        if self.two_level {
+            let mut rep = TwoLevelList::from_tour(tour);
+            let gain = self.inner.optimize(&mut rep);
+            *tour = rep.to_tour();
+            before - gain
+        } else {
+            before - self.inner.optimize(tour)
+        }
+    }
+
+    /// See [`ChainedLk::clk_call`]; dispatches on the representation.
+    pub fn clk_call(
+        &mut self,
+        tour: &mut Tour,
+        kicks: u64,
+        stop: &mut dyn FnMut(i64) -> bool,
+    ) -> i64 {
+        if self.two_level {
+            self.inner.clk_call::<TwoLevelList>(tour, kicks, stop)
+        } else {
+            self.inner.clk_call::<Tour>(tour, kicks, stop)
+        }
+    }
+
+    /// See [`ChainedLk::run`]; dispatches on the representation.
+    pub fn run(&mut self, budget: &Budget) -> ClkResult {
+        if self.two_level {
+            self.inner.run_rep::<TwoLevelList>(budget)
+        } else {
+            self.inner.run_rep::<Tour>(budget)
         }
     }
 }
@@ -361,5 +525,76 @@ mod tests {
         let b = run_clk(&inst, 50, 11);
         assert_eq!(a.length, b.length);
         assert_eq!(a.tour.order(), b.tour.order());
+    }
+
+    #[test]
+    fn representations_agree_on_full_runs() {
+        // The same seed must drive the exact same search on both
+        // representations: identical kick sequence, identical final
+        // tour, identical trace.
+        let inst = generate::uniform(300, 10_000.0, 76);
+        let nl = NeighborLists::build(&inst, 10);
+        let cfg = ChainedLkConfig {
+            seed: 13,
+            ..Default::default()
+        };
+        let mut array = ChainedLk::new(&inst, &nl, cfg.clone());
+        let mut twolevel = ChainedLk::new(&inst, &nl, cfg);
+        let a = array.run_rep::<Tour>(&Budget::kicks(60));
+        let b = twolevel.run_rep::<TwoLevelList>(&Budget::kicks(60));
+        assert_eq!(a.length, b.length);
+        assert_eq!(a.tour.order(), b.tour.order());
+        assert_eq!(a.kicks, b.kicks);
+    }
+
+    #[test]
+    fn engine_auto_selects_by_threshold() {
+        let inst = generate::uniform(100, 10_000.0, 77);
+        let nl = NeighborLists::build(&inst, 8);
+        let small = ClkEngine::auto(&inst, &nl, ChainedLkConfig::default());
+        assert_eq!(small.representation(), "array");
+        let cfg = ChainedLkConfig {
+            tl_threshold: 50,
+            ..Default::default()
+        };
+        let big = ClkEngine::auto(&inst, &nl, cfg);
+        assert_eq!(big.representation(), "twolevel");
+    }
+
+    #[test]
+    fn engine_results_match_plain_chained_lk() {
+        let inst = generate::uniform(150, 10_000.0, 78);
+        let nl = NeighborLists::build(&inst, 10);
+        let cfg = ChainedLkConfig {
+            seed: 21,
+            ..Default::default()
+        };
+        let mut plain = ChainedLk::new(&inst, &nl, cfg.clone());
+        let want = plain.run(&Budget::kicks(40));
+        for two_level in [false, true] {
+            let mut engine = ClkEngine::with_representation(&inst, &nl, cfg.clone(), two_level);
+            let got = engine.run(&Budget::kicks(40));
+            assert_eq!(got.length, want.length, "two_level={two_level}");
+            assert_eq!(got.tour.order(), want.tour.order(), "two_level={two_level}");
+        }
+    }
+
+    #[test]
+    fn engine_clk_call_matches_across_representations() {
+        let inst = generate::uniform(200, 10_000.0, 79);
+        let nl = NeighborLists::build(&inst, 10);
+        let cfg = ChainedLkConfig {
+            seed: 33,
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        for two_level in [false, true] {
+            let mut engine = ClkEngine::with_representation(&inst, &nl, cfg.clone(), two_level);
+            let mut tour = engine.construct_tour();
+            let len = engine.clk_call(&mut tour, 25, &mut |_| false);
+            assert_eq!(tour.length(&inst), len);
+            results.push((len, tour.order().to_vec()));
+        }
+        assert_eq!(results[0], results[1]);
     }
 }

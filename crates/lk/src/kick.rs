@@ -2,7 +2,7 @@
 //! as described in the paper (§2.1).
 //!
 //! A kick selects four "relevant" cities and applies the double-bridge
-//! 4-exchange at their positions:
+//! 4-exchange between them:
 //!
 //! - **Random** — all four uniformly at random. Degenerates the tour
 //!   but escapes deep optima (best on small instances, Table 3).
@@ -14,9 +14,15 @@
 //!   over the neighbor graph, started at `v`; the walk end points are
 //!   the other cities (the paper's best all-rounder and `linkern`'s
 //!   default).
+//!
+//! Kicks are expressed entirely through [`TourOps`] (`between` ordering
+//! plus 2-opt flips), so they run on the array tour and the two-level
+//! list alike — no tour positions involved.
 
 use rand::Rng;
-use tsp_core::{NeighborLists, Tour};
+use tsp_core::{Instance, NeighborLists, TourOps};
+
+use crate::search::two_opt_by_edges;
 
 /// Which kicking strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,12 +72,23 @@ impl KickStrategy {
     }
 }
 
-/// Select the four relevant cities for a kick. Returns tour *positions*
-/// suitable for [`Tour::double_bridge_at`]; `None` if a valid distinct
-/// quadruple could not be found (tiny instances).
-pub fn select_kick_cities<R: Rng>(
+/// One applied kick: the four cut cities (in tour order) and the exact
+/// tour-length change of the 4-exchange.
+#[derive(Debug, Clone, Copy)]
+pub struct Kick {
+    /// The cut cities, ordered along the tour.
+    pub cities: [usize; 4],
+    /// Length delta applied by the kick (usually positive — kicks make
+    /// the tour worse before re-optimization).
+    pub delta: i64,
+}
+
+/// Select the four relevant cities for a kick, in tour order; `None` if
+/// a distinct quadruple could not be found (tiny instances).
+pub fn select_kick_cities<T: TourOps, R: Rng>(
     strategy: KickStrategy,
-    tour: &Tour,
+    inst: &Instance,
+    tour: &T,
     neighbors: &NeighborLists,
     rng: &mut R,
 ) -> Option<[usize; 4]> {
@@ -79,7 +96,6 @@ pub fn select_kick_cities<R: Rng>(
     if n < 8 {
         return None;
     }
-    let mut positions = [0usize; 4];
     for _attempt in 0..32 {
         let cities = match strategy {
             KickStrategy::Random => {
@@ -105,15 +121,15 @@ pub fn select_kick_cities<R: Rng>(
             KickStrategy::Close(beta_permille) => {
                 let v = rng.gen_range(0..n);
                 let subset_size = ((n as u64 * beta_permille as u64) / 1000).max(6) as usize;
-                // Sample the subset, keep the six closest to v.
-                let vp = v;
+                // Sample the subset, keep the six closest to v by the
+                // real metric distance.
                 let mut six: Vec<(i64, usize)> = Vec::with_capacity(subset_size);
                 for _ in 0..subset_size {
                     let c = rng.gen_range(0..n);
-                    if c == vp {
+                    if c == v {
                         continue;
                     }
-                    six.push((dist_of(neighbors, tour, vp, c), c));
+                    six.push((inst.dist(v, c), c));
                 }
                 six.sort_unstable();
                 six.truncate(6);
@@ -141,53 +157,112 @@ pub fn select_kick_cities<R: Rng>(
                 cs
             }
         };
-        // Distinct positions required for a proper double bridge.
-        for (i, &c) in cities.iter().enumerate() {
-            positions[i] = tour.position(c);
-        }
-        positions.sort_unstable();
-        if positions[0] < positions[1] && positions[1] < positions[2] && positions[2] < positions[3]
-        {
-            return Some(positions);
+        // Distinct cities required for a proper double bridge.
+        let distinct = cities
+            .iter()
+            .all(|&c| cities.iter().filter(|&&o| o == c).count() == 1);
+        if distinct {
+            return Some(tour_order_cities(tour, cities));
         }
     }
     None
 }
 
-/// Placeholder distance used by the Close strategy when ranking the
-/// sampled subset: we rank by *tour distance* proxy — the index gap in
-/// the candidate list if present, else a large constant plus random
-/// noise is avoided by using the neighbor-list rank.
-///
-/// Rationale: the kick only needs a "closeness" ordering; the candidate
-/// lists already encode exact geometric ranks for the `k` nearest and
-/// the subset sampling makes finer ranks irrelevant (the paper's β
-/// controls locality the same way).
-fn dist_of(neighbors: &NeighborLists, _tour: &Tour, v: usize, c: usize) -> i64 {
-    match neighbors.of(v).iter().position(|&x| x as usize == c) {
-        Some(rank) => rank as i64,
-        None => i64::from(u32::MAX),
+/// Order four distinct cities along the tour, starting from the first.
+fn tour_order_cities<T: TourOps>(tour: &T, mut cs: [usize; 4]) -> [usize; 4] {
+    // Insertion sort of cs[1..] by "comes earlier when walking forward
+    // from cs[0]" — `between(a, x, y)` is exactly that comparator.
+    let anchor = cs[0];
+    for i in 2..4 {
+        let mut j = i;
+        while j > 1 && tour.between(anchor, cs[j], cs[j - 1]) {
+            cs.swap(j, j - 1);
+            j -= 1;
+        }
     }
+    cs
 }
 
-/// Apply one kick of the given strategy. Returns the four cut positions
-/// used, or `None` if the tour was too small.
-pub fn kick<R: Rng>(
+/// Apply the double-bridge 4-exchange that cuts the tour after each of
+/// the four cities and reconnects the quarters `A B C D` as `A C B D`,
+/// expressed as up to four 2-opt flips. Returns the exact length delta.
+///
+/// `cities` must be distinct and ordered along the tour (as returned by
+/// [`select_kick_cities`]). The reconnection is invariant under
+/// rotation of the quadruple; internally the anchor rotates until the
+/// quarter after the last cut is non-empty.
+pub fn double_bridge_by_cities<T: TourOps>(
+    inst: &Instance,
+    tour: &mut T,
+    cities: [usize; 4],
+) -> i64 {
+    let mut x = cities;
+    // The decomposition below needs next(x3) != x0 (a non-empty quarter
+    // after the last cut). At least one of the four quarters is
+    // non-empty for n >= 8, so some rotation works.
+    let mut tries = 0;
+    while tour.next(x[3]) == x[0] {
+        x.rotate_left(1);
+        tries += 1;
+        if tries == 4 {
+            return 0;
+        }
+    }
+    let nx = [
+        tour.next(x[0]),
+        tour.next(x[1]),
+        tour.next(x[2]),
+        tour.next(x[3]),
+    ];
+    // Removed: (x_i, next(x_i)); added: (x0,n2), (x3,n1), (x2,n0),
+    // (x1,n3). When a quarter is empty the corresponding pair appears
+    // on both sides and cancels numerically.
+    let delta = inst.dist(x[0], nx[2]) + inst.dist(x[3], nx[1]) + inst.dist(x[2], nx[0])
+        + inst.dist(x[1], nx[3])
+        - inst.dist(x[0], nx[0])
+        - inst.dist(x[1], nx[1])
+        - inst.dist(x[2], nx[2])
+        - inst.dist(x[3], nx[3]);
+    // Step 1 reverses everything between the outer cuts; steps 2-4
+    // restore each quarter's direction, skipping empty quarters.
+    two_opt_by_edges(tour, (x[0], nx[0]), (x[3], nx[3]));
+    if nx[2] != x[3] {
+        two_opt_by_edges(tour, (x[0], x[3]), (nx[2], x[2]));
+    }
+    if nx[1] != x[2] {
+        two_opt_by_edges(tour, (x[3], x[2]), (nx[1], x[1]));
+    }
+    if nx[0] != x[1] {
+        two_opt_by_edges(tour, (x[2], x[1]), (nx[0], nx[3]));
+    }
+    debug_assert!(
+        tour.has_edge(x[0], nx[2])
+            && tour.has_edge(x[3], nx[1])
+            && tour.has_edge(x[2], nx[0])
+            && tour.has_edge(x[1], nx[3])
+    );
+    delta
+}
+
+/// Apply one kick of the given strategy. Returns the cut cities and the
+/// exact length delta, or `None` if the tour was too small.
+pub fn kick<T: TourOps, R: Rng>(
     strategy: KickStrategy,
-    tour: &mut Tour,
+    inst: &Instance,
+    tour: &mut T,
     neighbors: &NeighborLists,
     rng: &mut R,
-) -> Option<[usize; 4]> {
-    let cuts = select_kick_cities(strategy, tour, neighbors, rng)?;
-    tour.double_bridge_at(cuts);
-    Some(cuts)
+) -> Option<Kick> {
+    let cities = select_kick_cities(strategy, inst, tour, neighbors, rng)?;
+    let delta = double_bridge_by_cities(inst, tour, cities);
+    Some(Kick { cities, delta })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::{rngs::SmallRng, SeedableRng};
-    use tsp_core::{generate, NeighborLists};
+    use tsp_core::{generate, NeighborLists, Tour, TwoLevelList};
 
     fn setup(n: usize) -> (tsp_core::Instance, NeighborLists, Tour) {
         let inst = generate::uniform(n, 10_000.0, 50);
@@ -202,22 +277,23 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for strategy in KickStrategy::ALL {
             for _ in 0..20 {
-                let cuts = kick(strategy, &mut tour, &nl, &mut rng);
-                assert!(cuts.is_some(), "{strategy:?}");
+                let before = tour.length(&inst);
+                let k = kick(strategy, &inst, &mut tour, &nl, &mut rng);
+                let k = k.expect("kick on 100 cities");
                 assert!(tour.is_valid(), "{strategy:?}");
+                assert_eq!(tour.length(&inst), before + k.delta, "{strategy:?}");
             }
         }
-        let _ = inst;
     }
 
     #[test]
     fn kick_changes_exactly_up_to_4_edges() {
-        let (_, nl, mut tour) = setup(64);
+        let (inst, nl, mut tour) = setup(64);
         let mut rng = SmallRng::seed_from_u64(2);
         for strategy in KickStrategy::ALL {
             let before: std::collections::HashSet<(usize, usize)> =
                 tour.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
-            kick(strategy, &mut tour, &nl, &mut rng).unwrap();
+            kick(strategy, &inst, &mut tour, &nl, &mut rng).unwrap();
             let after: std::collections::HashSet<(usize, usize)> =
                 tour.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
             assert!(before.difference(&after).count() <= 4, "{strategy:?}");
@@ -226,16 +302,13 @@ mod tests {
 
     #[test]
     fn geometric_kick_is_local() {
-        // With a small pool the four cities are geometric neighbors, so
-        // the cut positions span a bounded range of the candidate graph.
+        // With a small pool the four cities are geometric neighbors.
         let inst = generate::uniform(200, 10_000.0, 51);
         let nl = NeighborLists::build(&inst, 12);
         let tour = Tour::identity(200);
         let mut rng = SmallRng::seed_from_u64(3);
-        let cuts = select_kick_cities(KickStrategy::Geometric(8), &tour, &nl, &mut rng).unwrap();
-        // The four cut cities must all be within the kick city's
-        // 8-neighborhood (by construction); verify via the lists.
-        let cities: Vec<usize> = cuts.iter().map(|&p| tour.city_at(p)).collect();
+        let cities =
+            select_kick_cities(KickStrategy::Geometric(8), &inst, &tour, &nl, &mut rng).unwrap();
         let any_is_center = cities.iter().any(|&c| {
             cities
                 .iter()
@@ -247,10 +320,12 @@ mod tests {
 
     #[test]
     fn tiny_tour_returns_none() {
-        let (_, nl, tour) = setup(100);
+        let (inst, nl, tour) = setup(100);
         let small = Tour::identity(6);
         let mut rng = SmallRng::seed_from_u64(4);
-        assert!(select_kick_cities(KickStrategy::Random, &small, &nl, &mut rng).is_none());
+        assert!(
+            select_kick_cities(KickStrategy::Random, &inst, &small, &nl, &mut rng).is_none()
+        );
         let _ = tour;
     }
 
@@ -263,14 +338,87 @@ mod tests {
     }
 
     #[test]
-    fn random_walk_stays_on_neighbor_graph() {
-        let (_, nl, tour) = setup(100);
+    fn selected_cities_are_distinct_and_tour_ordered() {
+        let (inst, nl, tour) = setup(100);
         let mut rng = SmallRng::seed_from_u64(5);
-        // Just exercise it a lot; validity asserted by distinct cuts.
         for _ in 0..50 {
-            let cuts =
-                select_kick_cities(KickStrategy::RandomWalk(10), &tour, &nl, &mut rng).unwrap();
-            assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+            let cs = select_kick_cities(KickStrategy::RandomWalk(10), &inst, &tour, &nl, &mut rng)
+                .unwrap();
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    assert_ne!(cs[i], cs[j]);
+                }
+            }
+            // Walking forward from cs[0], the others appear in order.
+            assert!(tour.between(cs[0], cs[1], cs[2]));
+            assert!(tour.between(cs[1], cs[2], cs[3]));
+        }
+    }
+
+    #[test]
+    fn double_bridge_matches_position_based_reference() {
+        // The generic flip decomposition must produce the same
+        // undirected cycle as Tour::double_bridge_at on the same cuts.
+        let inst = generate::uniform(60, 10_000.0, 52);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for trial in 0..40 {
+            let base = Tour::random(60, &mut rng);
+            let mut cs = [0usize; 4];
+            let mut ps = [0usize; 4];
+            loop {
+                for p in ps.iter_mut() {
+                    *p = rng.gen_range(0..60);
+                }
+                ps.sort_unstable();
+                if ps[0] < ps[1] && ps[1] < ps[2] && ps[2] < ps[3] {
+                    break;
+                }
+            }
+            for (i, &p) in ps.iter().enumerate() {
+                cs[i] = base.city_at(p);
+            }
+
+            let mut reference = base.clone();
+            reference.double_bridge_at(ps);
+
+            let mut generic = base.clone();
+            let before = base.length(&inst);
+            let delta = double_bridge_by_cities(&inst, &mut generic, cs);
+            assert_eq!(generic.length(&inst), before + delta, "trial {trial}");
+
+            let want: std::collections::HashSet<(usize, usize)> = reference
+                .edges()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            let got: std::collections::HashSet<(usize, usize)> = generic
+                .edges()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            assert_eq!(want, got, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn kicks_agree_across_representations() {
+        let inst = generate::uniform(120, 10_000.0, 53);
+        let nl = NeighborLists::build(&inst, 10);
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        let start = Tour::random(120, &mut SmallRng::seed_from_u64(8));
+        let mut array = start.clone();
+        let mut tl = TwoLevelList::from_tour(&start);
+        for strategy in KickStrategy::ALL {
+            for _ in 0..10 {
+                let ka = kick(strategy, &inst, &mut array, &nl, &mut rng_a).unwrap();
+                let kb = kick(strategy, &inst, &mut tl, &nl, &mut rng_b).unwrap();
+                assert_eq!(ka.cities, kb.cities, "{strategy:?}");
+                assert_eq!(ka.delta, kb.delta, "{strategy:?}");
+                assert_eq!(
+                    TourOps::to_order(&tl),
+                    TourOps::to_order(&array),
+                    "{strategy:?}"
+                );
+            }
         }
     }
 }

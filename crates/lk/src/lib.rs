@@ -39,7 +39,7 @@ pub mod two_opt;
 pub mod two_opt_tl;
 
 pub use budget::{Budget, Stopwatch, Trace};
-pub use chained::{ChainedLk, ChainedLkConfig, ClkResult};
-pub use kick::KickStrategy;
+pub use chained::{ChainedLk, ChainedLkConfig, ClkEngine, ClkResult};
+pub use kick::{Kick, KickStrategy};
 pub use lin_kernighan::LkConfig;
 pub use search::Optimizer;

@@ -26,7 +26,7 @@
 //! per level with backtracking on the first levels, and commits to the
 //! most improving prefix of the chain.
 
-use tsp_core::Tour;
+use tsp_core::TourOps;
 
 use crate::search::{two_opt_by_edges, Optimizer};
 
@@ -130,7 +130,12 @@ impl LinKernighan {
     ///
     /// Returns the gain (> 0, tour already updated and the chain's
     /// endpoint cities re-activated in `opt`) or 0 (tour unchanged).
-    pub fn improve_from(&mut self, opt: &mut Optimizer<'_>, tour: &mut Tour, t1: usize) -> i64 {
+    pub fn improve_from<T: TourOps>(
+        &mut self,
+        opt: &mut Optimizer<'_>,
+        tour: &mut T,
+        t1: usize,
+    ) -> i64 {
         // Try both tour edges at t1 as the first removed edge.
         for first_side in 0..2 {
             let last0 = if first_side == 0 { tour.prev(t1) } else { tour.next(t1) };
@@ -158,17 +163,19 @@ impl LinKernighan {
     /// (> 0, leaving the tour in the improved state) or 0 (tour restored
     /// to its state at entry).
     #[allow(clippy::too_many_arguments)]
-    fn step(
+    fn step<T: TourOps>(
         &mut self,
         opt: &mut Optimizer<'_>,
-        tour: &mut Tour,
+        tour: &mut T,
         t1: usize,
         last: usize,
         g: i64,
         l_delta: i64,
         depth: usize,
     ) -> i64 {
-        let neighbors = opt.neighbors();
+        // Candidate ids and their cached metric distances: the pruning
+        // test below never recomputes a distance from coordinates.
+        let (cands, cdists) = opt.neighbors().of_with_dists(last);
         let breadth = self.cfg.breadth_at(depth);
         let mut tried = 0usize;
         // `fwd`: does the path run in the tour's forward direction?
@@ -176,15 +183,15 @@ impl LinKernighan {
         // the other side.)
         let d_last_t1 = opt.dist(last, t1);
 
-        for ci in 0..neighbors.of(last).len() {
+        for ci in 0..cands.len() {
             if tried >= breadth {
                 break;
             }
-            let c = neighbors.of(last)[ci] as usize;
+            let c = cands[ci] as usize;
             if c == t1 || c == last {
                 continue;
             }
-            let d_last_c = opt.dist(last, c);
+            let d_last_c = cdists[ci];
             // Positive-gain pruning (candidates sorted by distance).
             if d_last_c >= g {
                 break;
@@ -251,7 +258,7 @@ impl LinKernighan {
 /// Run LK to local optimality over the active queue: every active city
 /// is used as anchor until no anchor yields an improving chain.
 /// Returns the total gain.
-pub fn lk_pass(lk: &mut LinKernighan, opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+pub fn lk_pass<T: TourOps>(lk: &mut LinKernighan, opt: &mut Optimizer<'_>, tour: &mut T) -> i64 {
     let mut total = 0i64;
     while let Some(t1) = opt.pop_active() {
         let gain = lk.improve_from(opt, tour, t1);
@@ -265,7 +272,11 @@ pub fn lk_pass(lk: &mut LinKernighan, opt: &mut Optimizer<'_>, tour: &mut Tour) 
 }
 
 /// Convenience: full LK optimization from scratch.
-pub fn lin_kernighan(lk: &mut LinKernighan, opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+pub fn lin_kernighan<T: TourOps>(
+    lk: &mut LinKernighan,
+    opt: &mut Optimizer<'_>,
+    tour: &mut T,
+) -> i64 {
     opt.activate_all();
     lk_pass(lk, opt, tour)
 }
@@ -274,7 +285,7 @@ pub fn lin_kernighan(lk: &mut LinKernighan, opt: &mut Optimizer<'_>, tour: &mut 
 mod tests {
     use super::*;
     use rand::{rngs::SmallRng, SeedableRng};
-    use tsp_core::{generate, NeighborLists};
+    use tsp_core::{generate, NeighborLists, Tour};
 
     fn optimize(inst: &tsp_core::Instance, tour: &mut Tour, k: usize) -> i64 {
         let nl = NeighborLists::build(inst, k);

@@ -5,21 +5,20 @@
 //! for the new segment location come from the candidate lists of the
 //! segment's end cities.
 
-use tsp_core::Tour;
+use tsp_core::TourOps;
 
-use crate::search::Optimizer;
+use crate::search::{or_opt_move_by_edges, Optimizer};
 
 /// Maximum relocated segment length.
 pub const MAX_SEGMENT: usize = 3;
 
 /// Try to relocate the segment of `len` cities starting at `s`
 /// (forward). Returns the gain and applies the move, or 0.
-fn try_segment(opt: &mut Optimizer<'_>, tour: &mut Tour, s: usize, len: usize) -> i64 {
+fn try_segment<T: TourOps>(opt: &mut Optimizer<'_>, tour: &mut T, s: usize, len: usize) -> i64 {
     let n = tour.len();
     if len + 2 >= n {
         return 0;
     }
-    let neighbors = opt.neighbors();
     // Segment s .. e (forward); p precedes it, q follows it.
     let mut e = s;
     for _ in 1..len {
@@ -35,9 +34,19 @@ fn try_segment(opt: &mut Optimizer<'_>, tour: &mut Tour, s: usize, len: usize) -
 
     // Candidate destinations: after city c (so the segment sits between
     // c and next(c)), with c drawn from the candidate lists of both
-    // segment ends. Try both orientations.
-    for &c in neighbors.of(s).iter().chain(neighbors.of(e)) {
-        let c = c as usize;
+    // segment ends. Try both orientations. Each candidate carries its
+    // cached metric distance to the list owner (`d(s,c)` in the first
+    // half of the scan, `d(e,c)` in the second), saving one coordinate
+    // distance per probe.
+    let (cands_s, dists_s) = opt.neighbors().of_with_dists(s);
+    let (cands_e, dists_e) = opt.neighbors().of_with_dists(e);
+    let k = cands_s.len();
+    for i in 0..k + cands_e.len() {
+        let (c, cached) = if i < k {
+            (cands_s[i] as usize, dists_s[i])
+        } else {
+            (cands_e[i - k] as usize, dists_e[i - k])
+        };
         // c must lie outside the segment and not be p (no-op).
         if c == p {
             continue;
@@ -60,9 +69,9 @@ fn try_segment(opt: &mut Optimizer<'_>, tour: &mut Tour, s: usize, len: usize) -
         }
         let broken = opt.dist(c, d);
         // Forward orientation: c -> s ... e -> d.
-        let fwd_cost = opt.dist(c, s) + opt.dist(e, d);
+        let fwd_cost = (if i < k { cached } else { opt.dist(c, s) }) + opt.dist(e, d);
         // Reversed: c -> e ... s -> d.
-        let rev_cost = opt.dist(c, e) + opt.dist(s, d);
+        let rev_cost = (if i < k { opt.dist(c, e) } else { cached }) + opt.dist(s, d);
         let base = removed + broken - bridge;
         let (cost, reversed) = if fwd_cost <= rev_cost {
             (fwd_cost, false)
@@ -71,7 +80,7 @@ fn try_segment(opt: &mut Optimizer<'_>, tour: &mut Tour, s: usize, len: usize) -
         };
         let gain = base - cost;
         if gain > 0 {
-            tour.or_opt_move(s, len, c, reversed);
+            or_opt_move_by_edges(tour, s, e, p, q, c, d, reversed);
             for city in [p, q, s, e, c, d] {
                 opt.activate(city);
             }
@@ -83,7 +92,7 @@ fn try_segment(opt: &mut Optimizer<'_>, tour: &mut Tour, s: usize, len: usize) -
 
 /// Run Or-opt to local optimality over the active queue. Returns the
 /// total gain.
-pub fn or_opt_pass(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+pub fn or_opt_pass<T: TourOps>(opt: &mut Optimizer<'_>, tour: &mut T) -> i64 {
     let mut total = 0i64;
     while let Some(t1) = opt.pop_active() {
         let mut gained = 0;
@@ -103,7 +112,7 @@ pub fn or_opt_pass(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
 }
 
 /// Convenience: full Or-opt optimization from scratch.
-pub fn or_opt(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+pub fn or_opt<T: TourOps>(opt: &mut Optimizer<'_>, tour: &mut T) -> i64 {
     opt.activate_all();
     or_opt_pass(opt, tour)
 }
@@ -112,7 +121,7 @@ pub fn or_opt(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
 mod tests {
     use super::*;
     use rand::{rngs::SmallRng, SeedableRng};
-    use tsp_core::{generate, NeighborLists};
+    use tsp_core::{generate, NeighborLists, Tour};
 
     #[test]
     fn fixes_displaced_city() {

@@ -1,8 +1,9 @@
 //! Shared local-search context: don't-look bits, the active-city queue
-//! and the orientation-independent 2-opt primitive every search builds
-//! on.
+//! and the orientation-independent move primitives every search builds
+//! on. The primitives are generic over [`TourOps`], so the same search
+//! code drives both the array [`Tour`] and the two-level list.
 
-use tsp_core::{Instance, NeighborLists, Tour};
+use tsp_core::{Instance, NeighborLists, TourOps};
 
 /// Apply the unique non-identity 2-opt reconnection that removes the
 /// two undirected tour edges `e1` and `e2`.
@@ -11,31 +12,81 @@ use tsp_core::{Instance, NeighborLists, Tour};
 /// way to reconnect them into a different cycle (the "crossing" pair),
 /// so callers only name the removed edges. This helper derives the
 /// orientation from the current tour, which makes it immune to the
-/// orientation flips that [`Tour::reverse_segment`]'s shorter-side
-/// optimization can introduce.
+/// orientation flips that shorter-side segment reversal can introduce
+/// in either representation.
 ///
 /// # Panics
 ///
 /// Debug-panics if either pair is not a current tour edge, or the edges
 /// share an endpoint.
-pub fn two_opt_by_edges(tour: &mut Tour, e1: (usize, usize), e2: (usize, usize)) {
+pub fn two_opt_by_edges<T: TourOps>(tour: &mut T, e1: (usize, usize), e2: (usize, usize)) {
     let (a, b) = orient(tour, e1);
     let (c, d) = orient(tour, e2);
     debug_assert!(a != c && a != d && b != c && b != d, "edges must be disjoint");
-    // With b = next(a) and d = next(c), two_opt_move(a, c) removes
+    // With b = next(a) and d = next(c), flipping the path b…c removes
     // (a,b), (c,d) and adds (a,c), (b,d).
-    tour.two_opt_move(a, c);
+    let _ = (a, d);
+    tour.flip(b, c);
 }
 
 /// Orient an undirected tour edge so that `.1 == next(.0)`.
 #[inline]
-fn orient(tour: &Tour, (x, y): (usize, usize)) -> (usize, usize) {
+fn orient<T: TourOps>(tour: &T, (x, y): (usize, usize)) -> (usize, usize) {
     if tour.next(x) == y {
         (x, y)
     } else {
         debug_assert_eq!(tour.next(y), x, "({x},{y}) is not a tour edge");
         (y, x)
     }
+}
+
+/// Relocate the segment `s … e` (which currently sits between `p` and
+/// `q`) so that it follows `c` instead (before `d = next(c)`), as one
+/// to three 2-opt flips — the representation-independent form of the
+/// Or-opt move.
+///
+/// `reversed` inserts the segment as `c → e … s → d`; forward as
+/// `c → s … e → d`. Callers guarantee: `next(p) == s`, `next(e) == q`,
+/// `next(c) == d`, `c` outside the segment, `c != p`, `d != s`,
+/// `p != q` and `p != e` (segment plus destination don't cover the
+/// whole tour).
+#[allow(clippy::too_many_arguments)] // the args are the six edge endpoints
+pub fn or_opt_move_by_edges<T: TourOps>(
+    tour: &mut T,
+    s: usize,
+    e: usize,
+    p: usize,
+    q: usize,
+    c: usize,
+    d: usize,
+    reversed: bool,
+) {
+    debug_assert_eq!(tour.next(p), s);
+    debug_assert_eq!(tour.next(e), q);
+    debug_assert_eq!(tour.next(c), d);
+    debug_assert!(c != p && d != s && p != q && p != e);
+    debug_assert!(!(c == q && d == p), "segment + destination cover the tour");
+    // Build the reversed insertion c → e…s → d first; it takes a single
+    // 2-opt when the destination edge touches the segment boundary, two
+    // otherwise.
+    if c == q {
+        two_opt_by_edges(tour, (p, s), (c, d));
+    } else if d == p {
+        two_opt_by_edges(tour, (e, q), (c, p));
+    } else {
+        two_opt_by_edges(tour, (p, s), (c, d));
+        two_opt_by_edges(tour, (p, c), (q, e));
+    }
+    // One more 2-opt un-reverses the segment in place.
+    if !reversed && s != e {
+        two_opt_by_edges(tour, (c, e), (s, d));
+    }
+    debug_assert!(tour.has_edge(p, q));
+    debug_assert!(if reversed || s == e {
+        tour.has_edge(c, e) && tour.has_edge(s, d)
+    } else {
+        tour.has_edge(c, s) && tour.has_edge(e, d)
+    });
 }
 
 /// Local-search context: the instance, candidate lists, don't-look bits
@@ -139,7 +190,7 @@ impl<'a> Optimizer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsp_core::generate;
+    use tsp_core::{generate, Tour};
 
     #[test]
     fn two_opt_by_edges_any_orientation() {

@@ -6,13 +6,13 @@
 //! the same restriction `linkern` and LKH make, since non-sequential
 //! 3-opt moves are rare and expensive to enumerate.
 
-use tsp_core::Tour;
+use tsp_core::TourOps;
 
 use crate::lin_kernighan::{lk_pass, LinKernighan, LkConfig};
 use crate::search::Optimizer;
 
 /// Run sequential 3-opt to local optimality. Returns the total gain.
-pub fn three_opt(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+pub fn three_opt<T: TourOps>(opt: &mut Optimizer<'_>, tour: &mut T) -> i64 {
     let mut lk = LinKernighan::new(LkConfig::three_opt());
     opt.activate_all();
     lk_pass(&mut lk, opt, tour)

@@ -7,24 +7,26 @@
 //! McGeoch, used here both standalone (baseline) and as a building
 //! block in tests.
 
-use tsp_core::Tour;
+use tsp_core::TourOps;
 
 use crate::search::{two_opt_by_edges, Optimizer};
 
 /// One attempt to improve around city `t1`. Applies the first improving
 /// move found, re-activates its four endpoints and returns the
 /// (positive) gain, or returns 0.
-fn improve_city(opt: &mut Optimizer<'_>, tour: &mut Tour, t1: usize) -> i64 {
-    let neighbors = opt.neighbors();
+fn improve_city<T: TourOps>(opt: &mut Optimizer<'_>, tour: &mut T, t1: usize) -> i64 {
+    // Candidate distances come from the cache, not the metric: the
+    // inner loop never recomputes a sqrt/trig distance.
+    let (cands, cdists) = opt.neighbors().of_with_dists(t1);
     // Direction 0: remove (t1, next(t1)); new edge (t1, t3),
     // second removed edge (t3, next(t3)), second new edge (t2, t4).
     // Direction 1 mirrors with prev().
     for dir in 0..2 {
         let t2 = if dir == 0 { tour.next(t1) } else { tour.prev(t1) };
         let d_t1_t2 = opt.dist(t1, t2);
-        for &t3 in neighbors.of(t1) {
+        for (ci, &t3) in cands.iter().enumerate() {
             let t3 = t3 as usize;
-            let d_t1_t3 = opt.dist(t1, t3);
+            let d_t1_t3 = cdists[ci];
             if d_t1_t3 >= d_t1_t2 {
                 break; // sorted candidates: no further gain possible
             }
@@ -53,7 +55,7 @@ fn improve_city(opt: &mut Optimizer<'_>, tour: &mut Tour, t1: usize) -> i64 {
 ///
 /// Returns the total gain. On return every city's don't-look bit is set
 /// (no improving 2-opt move exists among candidate edges).
-pub fn two_opt_pass(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+pub fn two_opt_pass<T: TourOps>(opt: &mut Optimizer<'_>, tour: &mut T) -> i64 {
     let mut total = 0i64;
     while let Some(t1) = opt.pop_active() {
         let gain = improve_city(opt, tour, t1);
@@ -67,7 +69,7 @@ pub fn two_opt_pass(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
 }
 
 /// Convenience: fully optimize `tour` with 2-opt from scratch.
-pub fn two_opt(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
+pub fn two_opt<T: TourOps>(opt: &mut Optimizer<'_>, tour: &mut T) -> i64 {
     opt.activate_all();
     two_opt_pass(opt, tour)
 }
@@ -76,7 +78,7 @@ pub fn two_opt(opt: &mut Optimizer<'_>, tour: &mut Tour) -> i64 {
 mod tests {
     use super::*;
     use rand::{rngs::SmallRng, SeedableRng};
-    use tsp_core::{generate, NeighborLists};
+    use tsp_core::{generate, NeighborLists, Tour};
 
     #[test]
     fn uncrosses_square() {

@@ -1,14 +1,15 @@
-//! 2-opt on the two-level tour list.
+//! 2-opt on the two-level tour list — compatibility wrappers.
 //!
-//! Identical move semantics to [`crate::two_opt`], but operating on
-//! [`TwoLevelList`], whose O(√n) flips make candidate-list 2-opt viable
-//! at the paper's largest instance sizes (pla33810/pla85900-class)
-//! where the array tour's O(n) reversals dominate. The orientation
-//! question (a flip may invert the traversal direction) is handled the
-//! same way as in the array engine: every move is specified by its two
-//! removed edges and the direction is derived fresh from the structure.
+//! The 2-opt engine itself lives in [`crate::two_opt`] and is generic
+//! over [`tsp_core::TourOps`]; this module used to carry a duplicated
+//! don't-look/queue implementation for [`TwoLevelList`] and now just
+//! delegates. Kept because the entry points predate the generic engine
+//! and read naturally at call sites that only ever see a two-level
+//! list.
 
 use tsp_core::{Instance, NeighborLists, TwoLevelList};
+
+use crate::search::{two_opt_by_edges, Optimizer};
 
 /// Apply the unique non-identity 2-opt reconnection removing tour
 /// edges `e1` and `e2` on a two-level list.
@@ -16,81 +17,14 @@ use tsp_core::{Instance, NeighborLists, TwoLevelList};
 /// With `b = next(a)` and `d = next(c)` (after orientation), the
 /// reconnection adds `(a,c)` and `(b,d)` by flipping the path `b…c`.
 pub fn two_opt_by_edges_tl(tl: &mut TwoLevelList, e1: (usize, usize), e2: (usize, usize)) {
-    let (a, b) = orient(tl, e1);
-    let (c, d) = orient(tl, e2);
-    debug_assert!(a != c && a != d && b != c && b != d, "edges must be disjoint");
-    let _ = (a, d);
-    tl.flip(b, c);
-}
-
-#[inline]
-fn orient(tl: &TwoLevelList, (x, y): (usize, usize)) -> (usize, usize) {
-    if tl.next(x) == y {
-        (x, y)
-    } else {
-        debug_assert_eq!(tl.next(y), x, "({x},{y}) is not a tour edge");
-        (y, x)
-    }
+    two_opt_by_edges(tl, e1, e2);
 }
 
 /// Run first-improvement candidate-list 2-opt with don't-look bits to
 /// local optimality on a two-level list. Returns the total gain.
 pub fn two_opt_tl(inst: &Instance, neighbors: &NeighborLists, tl: &mut TwoLevelList) -> i64 {
-    let n = inst.len();
-    let mut dont_look = vec![false; n];
-    let mut queue: std::collections::VecDeque<u32> = (0..n as u32).collect();
-    let mut in_queue = vec![true; n];
-    let mut total = 0i64;
-
-    while let Some(t1) = queue.pop_front() {
-        let t1 = t1 as usize;
-        in_queue[t1] = false;
-        if dont_look[t1] {
-            continue;
-        }
-        let mut improved = false;
-        'dirs: for dir in 0..2 {
-            let t2 = if dir == 0 { tl.next(t1) } else { tl.prev(t1) };
-            let d_t1_t2 = inst.dist(t1, t2);
-            for &t3 in neighbors.of(t1) {
-                let t3 = t3 as usize;
-                let d_t1_t3 = inst.dist(t1, t3);
-                if d_t1_t3 >= d_t1_t2 {
-                    break;
-                }
-                if t3 == t2 {
-                    continue;
-                }
-                let t4 = if dir == 0 { tl.next(t3) } else { tl.prev(t3) };
-                if t4 == t1 {
-                    continue;
-                }
-                let gain = d_t1_t2 + inst.dist(t3, t4) - d_t1_t3 - inst.dist(t2, t4);
-                if gain > 0 {
-                    two_opt_by_edges_tl(tl, (t1, t2), (t3, t4));
-                    total += gain;
-                    improved = true;
-                    for c in [t1, t2, t3, t4] {
-                        dont_look[c] = false;
-                        if !in_queue[c] {
-                            in_queue[c] = true;
-                            queue.push_back(c as u32);
-                        }
-                    }
-                    break 'dirs;
-                }
-            }
-        }
-        if improved {
-            if !in_queue[t1] {
-                in_queue[t1] = true;
-                queue.push_back(t1 as u32);
-            }
-        } else {
-            dont_look[t1] = true;
-        }
-    }
-    total
+    let mut opt = Optimizer::new(inst, neighbors);
+    crate::two_opt::two_opt(&mut opt, tl)
 }
 
 #[cfg(test)]
@@ -119,18 +53,11 @@ mod tests {
         assert!(tl_tour.is_valid());
         assert_eq!(tl_tour.length(&inst), before - tl_gain);
 
-        // Same neighborhood, same first-improvement rule — both land in
-        // comparable local optima (not necessarily identical: flip
-        // orientation differences reorder the scan).
-        let a = array_tour.length(&inst) as f64;
-        let b = tl_tour.length(&inst) as f64;
-        assert!(
-            (b - a).abs() <= 0.05 * a,
-            "two-level 2-opt {} vs array 2-opt {}",
-            b,
-            a
-        );
-        let _ = array_gain;
+        // Both run the same generic engine; from the same start the
+        // trajectories are identical, so the gains must match exactly.
+        use tsp_core::TourOps;
+        assert_eq!(array_gain, tl_gain);
+        assert_eq!(TourOps::to_order(&array_tour), TourOps::to_order(&tl));
     }
 
     #[test]

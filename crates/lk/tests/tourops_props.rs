@@ -1,0 +1,212 @@
+//! Property tests for the representation-generic search substrate:
+//! identical randomized traces of flips, Or-opt relocations, and
+//! double-bridge kicks driven purely through [`TourOps`] must leave the
+//! array tour and the two-level list on the *same directed cycle* (the
+//! canonical linearizations and lengths are compared exactly, not just
+//! as undirected edge sets), and the candidate-list distance cache must
+//! agree with the metric everywhere.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use tsp_core::{generate, NeighborLists, Tour, TourOps, TwoLevelList};
+
+use lk::kick::kick;
+use lk::search::{or_opt_move_by_edges, two_opt_by_edges};
+use lk::{Budget, ChainedLk, ChainedLkConfig, KickStrategy};
+
+/// Both representations of the same random starting permutation.
+fn both_reps(n: usize, seed: u64) -> (Tour, TwoLevelList) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tour = Tour::random(n, &mut rng);
+    let tl = TwoLevelList::from_tour(&tour);
+    (tour, tl)
+}
+
+/// Exact directed-cycle equality via the canonical linearization.
+fn assert_lockstep(inst: &tsp_core::Instance, tour: &Tour, tl: &TwoLevelList) {
+    assert_eq!(
+        TourOps::to_order(tour),
+        TourOps::to_order(tl),
+        "directed cycles diverged"
+    );
+    assert_eq!(tour.tour_length(inst), tl.tour_length(inst));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary flip traces keep both representations on the same
+    /// directed cycle.
+    #[test]
+    fn flip_traces_stay_in_lockstep(
+        n in 8usize..200,
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u32>(), any::<u32>()), 1..30),
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed ^ 0xA5);
+        let (mut tour, mut tl) = both_reps(n, seed);
+        for (ra, rb) in ops {
+            let a = ra as usize % n;
+            let b = rb as usize % n;
+            if a == b {
+                continue;
+            }
+            tl.flip(a, b);
+            TourOps::flip(&mut tour, a, b);
+        }
+        prop_assert!(tl.check_invariants());
+        assert_lockstep(&inst, &tour, &tl);
+    }
+
+    /// 2-opt moves expressed as edge pairs (the LK step primitive)
+    /// agree across representations.
+    #[test]
+    fn two_opt_by_edges_traces_agree(
+        n in 8usize..150,
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u32>(), any::<u32>()), 1..25),
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed ^ 0xB6);
+        let (mut tour, mut tl) = both_reps(n, seed);
+        for (ra, rb) in ops {
+            let a = ra as usize % n;
+            let b = rb as usize % n;
+            // Remove (a, next a) and (b, next b): needs four distinct
+            // endpoint cities.
+            let na = tour.next(a);
+            let nb = tour.next(b);
+            if a == b || na == b || nb == a {
+                continue;
+            }
+            two_opt_by_edges(&mut tour, (a, na), (b, nb));
+            two_opt_by_edges(&mut tl, (a, na), (b, nb));
+        }
+        prop_assert!(tl.check_invariants());
+        assert_lockstep(&inst, &tour, &tl);
+    }
+
+    /// Or-opt relocations (segment length 1-3, forward or reversed)
+    /// agree across representations.
+    #[test]
+    fn or_opt_traces_agree(
+        n in 12usize..150,
+        seed in any::<u64>(),
+        ops in prop::collection::vec(
+            (any::<u32>(), 1usize..4, any::<u32>(), any::<bool>()),
+            1..20,
+        ),
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed ^ 0xC7);
+        let (mut tour, mut tl) = both_reps(n, seed);
+        for (rs, seg_len, rc, reversed) in ops {
+            let s = rs as usize % n;
+            // Walk the segment and its flanks on the current cycle.
+            let mut e = s;
+            for _ in 1..seg_len {
+                e = tour.next(e);
+            }
+            let p = tour.prev(s);
+            let q = tour.next(e);
+            let c = rc as usize % n;
+            let d = tour.next(c);
+            // Validity: c outside the segment and not p; the no-op and
+            // whole-tour cases are skipped.
+            let mut in_seg = false;
+            let mut walk = s;
+            for _ in 0..seg_len {
+                in_seg |= walk == c;
+                walk = tour.next(walk);
+            }
+            if in_seg || c == p || p == q || p == e || (c == q && d == p) {
+                continue;
+            }
+            or_opt_move_by_edges(&mut tour, s, e, p, q, c, d, reversed);
+            or_opt_move_by_edges(&mut tl, s, e, p, q, c, d, reversed);
+        }
+        prop_assert!(tl.check_invariants());
+        assert_lockstep(&inst, &tour, &tl);
+    }
+
+    /// Full kicks (selection + double bridge) driven by identical RNGs
+    /// produce identical cities, deltas, and cycles on both
+    /// representations.
+    #[test]
+    fn kick_traces_agree(
+        n in 16usize..200,
+        seed in any::<u64>(),
+        strategy_ix in 0usize..4,
+        kicks in 1usize..8,
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed ^ 0xD8);
+        let nl = NeighborLists::build(&inst, 8);
+        let strategy = KickStrategy::ALL[strategy_ix];
+        let (mut tour, mut tl) = both_reps(n, seed);
+        let mut rng_a = SmallRng::seed_from_u64(seed ^ 0x1234);
+        let mut rng_b = SmallRng::seed_from_u64(seed ^ 0x1234);
+        for _ in 0..kicks {
+            let ka = kick(strategy, &inst, &mut tour, &nl, &mut rng_a);
+            let kb = kick(strategy, &inst, &mut tl, &nl, &mut rng_b);
+            match (ka, kb) {
+                (Some(ka), Some(kb)) => {
+                    prop_assert_eq!(ka.cities, kb.cities);
+                    prop_assert_eq!(ka.delta, kb.delta);
+                }
+                (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+            }
+        }
+        prop_assert!(tl.check_invariants());
+        assert_lockstep(&inst, &tour, &tl);
+    }
+}
+
+proptest! {
+    // Full CLK runs are comparatively expensive; a few cases suffice on
+    // top of the per-primitive traces above.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Whole Chained-LK runs (construction, LK passes, kicks,
+    /// accept/reject) are bit-identical across representations.
+    #[test]
+    fn chained_lk_runs_agree(
+        n in 40usize..160,
+        seed in any::<u64>(),
+        kicks in 5u64..25,
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed ^ 0xE9);
+        let nl = NeighborLists::build(&inst, 8);
+        let cfg = ChainedLkConfig {
+            seed,
+            ..Default::default()
+        };
+        let budget = Budget::kicks(kicks);
+        let ra = ChainedLk::new(&inst, &nl, cfg.clone()).run_rep::<Tour>(&budget);
+        let rb = ChainedLk::new(&inst, &nl, cfg).run_rep::<TwoLevelList>(&budget);
+        prop_assert_eq!(ra.length, rb.length);
+        prop_assert_eq!(ra.kicks, rb.kicks);
+        prop_assert_eq!(TourOps::to_order(&ra.tour), TourOps::to_order(&rb.tour));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The CSR distance cache in the candidate lists is exactly the
+    /// metric: `dists_of(c)[i] == dist(c, of(c)[i])` for every slot.
+    #[test]
+    fn cached_candidate_distances_match_metric(
+        n in 8usize..400,
+        k in 2usize..12,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::uniform(n, 100_000.0, seed ^ 0xF1);
+        let nl = NeighborLists::build(&inst, k);
+        for c in 0..n {
+            let (cands, dists) = nl.of_with_dists(c);
+            prop_assert_eq!(cands.len(), dists.len());
+            prop_assert_eq!(dists, nl.dists_of(c));
+            for (i, &nb) in cands.iter().enumerate() {
+                prop_assert_eq!(dists[i], inst.dist(c, nb as usize));
+            }
+        }
+    }
+}

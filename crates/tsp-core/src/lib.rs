@@ -15,7 +15,11 @@
 //! - [`tour`] — [`Tour`]: an array-based cyclic permutation with a
 //!   position index, supporting the O(1) queries and segment operations
 //!   local search needs, plus the double-bridge move.
-//! - [`neighbors`] — k-nearest-neighbor candidate lists.
+//! - [`twolevel`] — [`TwoLevelList`]: the two-level doubly-linked tour
+//!   with O(√n) flips, and [`tourops`] — the [`TourOps`]/[`TourRep`]
+//!   traits that let local search run on either representation.
+//! - [`neighbors`] — k-nearest-neighbor candidate lists with cached
+//!   candidate distances.
 //! - [`grid`] / [`kdtree`] — the two spatial indexes used to build
 //!   candidate lists and to answer nearest-neighbor queries during tour
 //!   construction.
@@ -46,6 +50,7 @@ pub mod kdtree;
 pub mod metric;
 pub mod neighbors;
 pub mod tour;
+pub mod tourops;
 pub mod tsplib;
 pub mod twolevel;
 
@@ -53,6 +58,7 @@ pub use instance::{Instance, Point};
 pub use metric::Metric;
 pub use neighbors::NeighborLists;
 pub use tour::Tour;
+pub use tourops::{TourOps, TourRep};
 pub use twolevel::TwoLevelList;
 
 /// Crate-wide error type.

@@ -6,16 +6,32 @@
 //! the lists in one flat array (CSR-like, `k` entries per city) for cache
 //! friendliness, built from either spatial index, or by brute force for
 //! explicit-matrix instances.
+//!
+//! Next to each neighbor id the structure caches the exact metric
+//! distance in a parallel `i64` array, so candidate scans in the LK
+//! inner loops read a precomputed value instead of recomputing sqrt
+//! (EUC_2D) or trig (GEO) per probe. Construction chunks the per-city
+//! k-NN queries across scoped threads — the serial pass is a visible
+//! startup cost at pla85900 scale.
 
 use crate::grid::Grid;
 use crate::instance::Instance;
 use crate::kdtree::KdTree;
 
-/// Flat `k`-nearest-neighbor lists for every city.
+/// Below this many cities the build stays serial: thread spawn overhead
+/// would dominate the k-NN work.
+const PARALLEL_MIN_CITIES: usize = 2_048;
+
+/// Flat `k`-nearest-neighbor lists for every city, with the metric
+/// distance to each neighbor cached alongside.
 #[derive(Debug, Clone)]
 pub struct NeighborLists {
     k: usize,
     flat: Vec<u32>,
+    /// `dists[c*k + j] == inst.dist(c, flat[c*k + j])`, CSR-parallel to
+    /// `flat`. For α-nearness lists the *order* follows α, but the
+    /// cached values are still true metric distances.
+    dists: Vec<i64>,
 }
 
 impl NeighborLists {
@@ -28,13 +44,7 @@ impl NeighborLists {
             return Self::build_brute_force(inst, k);
         }
         let tree = KdTree::build(inst);
-        let mut flat = vec![0u32; n * k];
-        for c in 0..n {
-            let nn = tree.k_nearest(c, k);
-            debug_assert_eq!(nn.len(), k);
-            flat[c * k..(c + 1) * k].copy_from_slice(&nn);
-        }
-        NeighborLists { k, flat }
+        Self::build_with(inst, k, &|c| tree.k_nearest(c, k))
     }
 
     /// Build lists via the uniform grid (fast on uniform data; falls back
@@ -46,13 +56,7 @@ impl NeighborLists {
             return Self::build_brute_force(inst, k);
         }
         let grid = Grid::build(inst);
-        let mut flat = vec![0u32; n * k];
-        for c in 0..n {
-            let nn = grid.k_nearest(inst, c, k);
-            debug_assert_eq!(nn.len(), k);
-            flat[c * k..(c + 1) * k].copy_from_slice(&nn);
-        }
-        NeighborLists { k, flat }
+        Self::build_with(inst, k, &|c| grid.k_nearest(inst, c, k))
     }
 
     /// O(n² log n) fallback for explicit-matrix instances, ordered by the
@@ -60,32 +64,107 @@ impl NeighborLists {
     pub fn build_brute_force(inst: &Instance, k: usize) -> Self {
         let n = inst.len();
         let k = k.min(n - 1);
+        Self::build_with(inst, k, &|c| {
+            let mut all: Vec<u32> = (0..n as u32).filter(|&o| o as usize != c).collect();
+            all.sort_by_key(|&o| (inst.dist(c, o as usize), o));
+            all.truncate(k);
+            all
+        })
+    }
+
+    /// Shared builder: run `query` for every city (in parallel chunks
+    /// when the instance is large enough) and cache the metric distance
+    /// of each returned neighbor.
+    fn build_with<F>(inst: &Instance, k: usize, query: &F) -> Self
+    where
+        F: Fn(usize) -> Vec<u32> + Sync,
+    {
+        let n = inst.len();
         let mut flat = vec![0u32; n * k];
-        let mut scratch: Vec<u32> = Vec::with_capacity(n - 1);
-        for c in 0..n {
-            scratch.clear();
-            scratch.extend((0..n as u32).filter(|&o| o as usize != c));
-            scratch.sort_by_key(|&o| (inst.dist(c, o as usize), o));
-            flat[c * k..(c + 1) * k].copy_from_slice(&scratch[..k]);
+        let mut dists = vec![0i64; n * k];
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(16);
+        if threads <= 1 || n < PARALLEL_MIN_CITIES {
+            Self::fill_chunk(inst, k, 0, &mut flat, &mut dists, query);
+        } else {
+            let per = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (i, (fc, dc)) in flat
+                    .chunks_mut(per * k)
+                    .zip(dists.chunks_mut(per * k))
+                    .enumerate()
+                {
+                    s.spawn(move || Self::fill_chunk(inst, k, i * per, fc, dc, query));
+                }
+            });
         }
-        NeighborLists { k, flat }
+        NeighborLists { k, flat, dists }
+    }
+
+    /// Fill the lists for cities `base .. base + chunk_len/k`.
+    fn fill_chunk<F>(
+        inst: &Instance,
+        k: usize,
+        base: usize,
+        flat: &mut [u32],
+        dists: &mut [i64],
+        query: &F,
+    ) where
+        F: Fn(usize) -> Vec<u32>,
+    {
+        for i in 0..flat.len() / k {
+            let c = base + i;
+            let nn = query(c);
+            debug_assert_eq!(nn.len(), k);
+            flat[i * k..(i + 1) * k].copy_from_slice(&nn);
+            for (j, &o) in nn.iter().enumerate() {
+                dists[i * k + j] = inst.dist(c, o as usize);
+            }
+        }
     }
 
     /// Construct from precomputed flat lists (used by the α-nearness
-    /// builder in the `heldkarp` crate).
+    /// builder in the `heldkarp` crate). Distances are cached from the
+    /// instance metric — the list *order* may follow another key (α),
+    /// but the cached values are always `inst.dist`.
     ///
     /// # Panics
     ///
-    /// Panics if `flat.len()` is not a multiple of `k`.
-    pub fn from_flat(k: usize, flat: Vec<u32>) -> Self {
-        assert!(k > 0 && flat.len().is_multiple_of(k), "flat length must be n*k");
-        NeighborLists { k, flat }
+    /// Panics if `flat.len() != inst.len() * k`.
+    pub fn from_flat(inst: &Instance, k: usize, flat: Vec<u32>) -> Self {
+        assert!(
+            k > 0 && flat.len() == inst.len() * k,
+            "flat length must be n*k"
+        );
+        let mut dists = vec![0i64; flat.len()];
+        for c in 0..inst.len() {
+            for j in 0..k {
+                dists[c * k + j] = inst.dist(c, flat[c * k + j] as usize);
+            }
+        }
+        NeighborLists { k, flat, dists }
     }
 
     /// Candidates of city `c`, nearest first.
     #[inline(always)]
     pub fn of(&self, c: usize) -> &[u32] {
         &self.flat[c * self.k..(c + 1) * self.k]
+    }
+
+    /// Candidates of city `c` with their cached metric distances.
+    #[inline(always)]
+    pub fn of_with_dists(&self, c: usize) -> (&[u32], &[i64]) {
+        let range = c * self.k..(c + 1) * self.k;
+        (&self.flat[range.clone()], &self.dists[range])
+    }
+
+    /// Cached distances to the candidates of city `c` (parallel to
+    /// [`Self::of`]).
+    #[inline(always)]
+    pub fn dists_of(&self, c: usize) -> &[i64] {
+        &self.dists[c * self.k..(c + 1) * self.k]
     }
 
     /// List length `k`.
@@ -151,6 +230,39 @@ mod tests {
     }
 
     #[test]
+    fn cached_distances_match_instance_metric() {
+        let inst = random_instance(120, 14);
+        for nl in [
+            NeighborLists::build(&inst, 7),
+            NeighborLists::build_with_grid(&inst, 7),
+        ] {
+            for c in 0..120 {
+                let (ids, ds) = nl.of_with_dists(c);
+                assert_eq!(ids.len(), ds.len());
+                for (j, (&o, &d)) in ids.iter().zip(ds).enumerate() {
+                    assert_eq!(d, inst.dist(c, o as usize), "city {c} cand {j}");
+                }
+                assert_eq!(nl.dists_of(c), ds);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_semantics() {
+        // Large enough to cross PARALLEL_MIN_CITIES on multi-core hosts.
+        let inst = random_instance(3_000, 21);
+        let nl = NeighborLists::build(&inst, 5);
+        assert_eq!(nl.len(), 3_000);
+        let tree = KdTree::build(&inst);
+        for c in (0..3_000).step_by(97) {
+            assert_eq!(nl.of(c), &tree.k_nearest(c, 5)[..], "city {c}");
+            for (&o, &d) in nl.of(c).iter().zip(nl.dists_of(c)) {
+                assert_eq!(d, inst.dist(c, o as usize));
+            }
+        }
+    }
+
+    #[test]
     fn k_clamped_to_n_minus_1() {
         let inst = random_instance(5, 1);
         let nl = NeighborLists::build(&inst, 50);
@@ -172,6 +284,7 @@ mod tests {
         assert_eq!(nl.of(0), &[2, 1]);
         assert_eq!(nl.of(1), &[3, 2]);
         assert_eq!(nl.of(3), &[1, 2]);
+        assert_eq!(nl.dists_of(0), &[2, 5]);
     }
 
     #[test]
@@ -185,8 +298,11 @@ mod tests {
 
     #[test]
     fn from_flat_roundtrip() {
-        let nl = NeighborLists::from_flat(2, vec![1, 2, 0, 2, 0, 1]);
+        let inst = random_instance(3, 2);
+        let nl = NeighborLists::from_flat(&inst, 2, vec![1, 2, 0, 2, 0, 1]);
         assert_eq!(nl.len(), 3);
         assert_eq!(nl.of(1), &[0, 2]);
+        assert_eq!(nl.dists_of(1)[0], inst.dist(1, 0));
+        assert_eq!(nl.dists_of(1)[1], inst.dist(1, 2));
     }
 }

@@ -25,7 +25,17 @@ use crate::tour::Tour;
 
 /// Target number of cities per segment, as a function of n.
 fn target_seg_len(n: usize) -> usize {
-    ((n as f64).sqrt() as usize).clamp(4, 4096)
+    (2 * (n as f64).sqrt() as usize).clamp(4, 4096)
+}
+
+/// Reduce a tour index into `[0, n)`; `x` is always `< 2n`.
+#[inline]
+fn wrap_pos(x: u32, n: usize) -> u32 {
+    if x >= n as u32 {
+        x - n as u32
+    } else {
+        x
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -49,22 +59,6 @@ impl Segment {
             off
         }
     }
-
-    /// Physical offset of logical index `idx`.
-    #[inline]
-    fn physical(&self, idx: usize) -> usize {
-        if self.reversed {
-            self.len() - 1 - idx
-        } else {
-            idx
-        }
-    }
-
-    /// City at logical index `idx`.
-    #[inline]
-    fn at(&self, idx: usize) -> u32 {
-        self.cities[self.physical(idx)]
-    }
 }
 
 /// A two-level doubly-linked tour over cities `0..n`.
@@ -75,12 +69,21 @@ pub struct TwoLevelList {
     order: Vec<u32>,
     /// Position of each segment id in `order` (`u32::MAX` for retired ids).
     seg_pos: Vec<u32>,
+    /// Tour index (mod n, arbitrary but consistent origin) of each
+    /// segment's logical first city: walking `order`, each segment's
+    /// start is the previous start plus the previous length (mod n).
+    /// Gives O(1) city counts between two segment heads, which is how
+    /// [`Self::flip`] picks the shorter side without walking segments.
+    seg_start: Vec<u32>,
     city_seg: Vec<u32>,
     city_off: Vec<u32>,
     n: usize,
     /// Rebuild threshold: when `order.len()` exceeds this, group sizes
     /// have degenerated (too many splits) and the structure re-groups.
     max_segments: usize,
+    /// Largest segment a neighbor merge may produce (2x the build-time
+    /// target length).
+    merge_cap: usize,
 }
 
 impl TwoLevelList {
@@ -99,11 +102,19 @@ impl TwoLevelList {
             segments: Vec::with_capacity(nsegs * 2),
             order: Vec::with_capacity(nsegs * 2),
             seg_pos: Vec::new(),
+            seg_start: Vec::with_capacity(nsegs * 2),
             city_seg: vec![0; n],
             city_off: vec![0; n],
             n,
-            max_segments: 4 * nsegs + 8,
+            // Rebuilds are O(n); with the in-place flip fast path the
+            // directory grows slowly, so a roomy threshold (16x) trades
+            // slightly longer handle runs for far fewer rebuilds —
+            // measured fastest on 100k-200k first passes (8x and 32x
+            // are both slower).
+            max_segments: 16 * nsegs + 8,
+            merge_cap: 2 * seg_len,
         };
+        let mut start = 0u32;
         for chunk in order_slice.chunks(seg_len) {
             let id = tl.segments.len() as u32;
             for (off, &c) in chunk.iter().enumerate() {
@@ -115,6 +126,8 @@ impl TwoLevelList {
                 reversed: false,
             });
             tl.order.push(id);
+            tl.seg_start.push(start);
+            start += chunk.len() as u32;
         }
         tl.seg_pos = vec![u32::MAX; tl.segments.len()];
         for (pos, &id) in tl.order.iter().enumerate() {
@@ -158,36 +171,55 @@ impl TwoLevelList {
     }
 
     /// Successor of city `c` in tour direction.
+    ///
+    /// Works in *physical* offsets: within a segment the successor is
+    /// the adjacent array slot (direction given by `reversed`), so the
+    /// common case is one branch and one load past the metadata lookups
+    /// — this is the hottest operation in candidate scans.
+    #[inline]
     pub fn next(&self, c: usize) -> usize {
-        let id = self.city_seg[c];
-        let seg = self.seg(id);
-        let idx = seg.logical(self.city_off[c] as usize);
-        if idx + 1 < seg.len() {
-            seg.at(idx + 1) as usize
-        } else {
-            let pos = self.seg_pos[id as usize] as usize;
-            let next_id = self.order[(pos + 1) % self.order.len()];
-            self.seg(next_id).at(0) as usize
+        let id = self.city_seg[c] as usize;
+        let seg = &self.segments[id];
+        let off = self.city_off[c] as usize;
+        if seg.reversed {
+            if off > 0 {
+                return seg.cities[off - 1] as usize;
+            }
+        } else if off + 1 < seg.cities.len() {
+            return seg.cities[off + 1] as usize;
         }
+        // Segment boundary: logical first city of the following segment.
+        let pos = self.seg_pos[id] as usize + 1;
+        let pos = if pos == self.order.len() { 0 } else { pos };
+        let nseg = &self.segments[self.order[pos] as usize];
+        let first = if nseg.reversed { nseg.cities.len() - 1 } else { 0 };
+        nseg.cities[first] as usize
     }
 
     /// Predecessor of city `c` in tour direction.
+    #[inline]
     pub fn prev(&self, c: usize) -> usize {
-        let id = self.city_seg[c];
-        let seg = self.seg(id);
-        let idx = seg.logical(self.city_off[c] as usize);
-        if idx > 0 {
-            seg.at(idx - 1) as usize
-        } else {
-            let pos = self.seg_pos[id as usize] as usize;
-            let prev_id = self.order[(pos + self.order.len() - 1) % self.order.len()];
-            let pseg = self.seg(prev_id);
-            pseg.at(pseg.len() - 1) as usize
+        let id = self.city_seg[c] as usize;
+        let seg = &self.segments[id];
+        let off = self.city_off[c] as usize;
+        if seg.reversed {
+            if off + 1 < seg.cities.len() {
+                return seg.cities[off + 1] as usize;
+            }
+        } else if off > 0 {
+            return seg.cities[off - 1] as usize;
         }
+        // Segment boundary: logical last city of the preceding segment.
+        let pos = self.seg_pos[id] as usize;
+        let pos = if pos == 0 { self.order.len() - 1 } else { pos - 1 };
+        let pseg = &self.segments[self.order[pos] as usize];
+        let last = if pseg.reversed { 0 } else { pseg.cities.len() - 1 };
+        pseg.cities[last] as usize
     }
 
     /// Whether walking forward from `a` meets `b` strictly before `c`
     /// (same semantics as [`Tour::between`]).
+    #[inline]
     pub fn between(&self, a: usize, b: usize, c: usize) -> bool {
         let pa = self.coords(a);
         let pb = self.coords(b);
@@ -201,50 +233,125 @@ impl TwoLevelList {
 
     /// Split the segment containing `c` so that `c` becomes the
     /// *logical first* city of its segment. No-op if it already is.
+    ///
+    /// Always detaches the *physical suffix* of the segment: the kept
+    /// cities never move, so only the detached cities need metadata
+    /// fixups (one loop, no offset re-shuffle of the kept side). For a
+    /// forward segment the suffix is the logical run starting at `c`
+    /// (new segment goes after); for a reversed one it is the logical
+    /// prefix ending before `c` (new segment goes before).
     fn split_before(&mut self, c: usize) {
-        let id = self.city_seg[c];
-        let idx = {
-            let seg = self.seg(id);
-            seg.logical(self.city_off[c] as usize)
+        self.split_before_protected(c, None);
+    }
+
+    /// [`Self::split_before`], refusing to merge the detached run into
+    /// segment `protect`: a prepend-merge makes the run's first city the
+    /// new logical head of the target, which would silently demote
+    /// `protect`'s current head — and `flip` needs the head it
+    /// established with the *first* split to stay put.
+    fn split_before_protected(&mut self, c: usize, protect: Option<u32>) {
+        let id = self.city_seg[c] as usize;
+        let seg = &self.segments[id];
+        let off = self.city_off[c] as usize;
+        let (cut, before) = if seg.reversed {
+            if off + 1 == seg.cities.len() {
+                return; // already logical first
+            }
+            (off + 1, true)
+        } else {
+            if off == 0 {
+                return;
+            }
+            (off, false)
         };
-        if idx == 0 {
-            return;
-        }
-        // Detach the logical prefix [0, idx) into a new segment placed
-        // *before* this one; keep the suffix (starting at c) in place.
-        let (prefix_cities, reversed) = {
-            let seg = &mut self.segments[id as usize];
-            if seg.reversed {
-                // Physical suffix is the logical prefix.
-                let cut = seg.len() - idx;
-                let suffix: Vec<u32> = seg.cities.split_off(cut);
-                (suffix, true)
+        let moved_len = self.segments[id].cities.len() - cut;
+        let old_start = self.seg_start[id];
+        let m = self.order.len();
+        let pos_id = self.seg_pos[id] as usize;
+
+        // Absorb the detached run into the logically adjacent neighbor
+        // when orientations line up: in both directions the run lands at
+        // the neighbor's *physical tail* in reverse physical order — an
+        // O(|moved|) extend with no new segment, which keeps the segment
+        // count (and thus flip's handle-run length) flat between
+        // rebuilds.
+        if m >= 2 {
+            let npos = if before {
+                if pos_id == 0 {
+                    m - 1
+                } else {
+                    pos_id - 1
+                }
+            } else if pos_id + 1 == m {
+                0
             } else {
-                let mut rest = seg.cities.split_off(idx);
-                // Keep the suffix (starting at c) as this segment's
-                // cities; hand the prefix to the new segment.
-                std::mem::swap(&mut rest, &mut seg.cities);
-                (rest, false)
+                pos_id + 1
+            };
+            let nid = self.order[npos] as usize;
+            let nseg = &self.segments[nid];
+            // before → neighbor precedes and must be forward; otherwise
+            // neighbor follows and must be reversed.
+            let oriented = nseg.reversed != before;
+            // A protected head must stay a segment head. A `before`
+            // merge moves this segment's logical prefix — whose first
+            // city is its head — into the neighbor's tail; the other
+            // direction prepends the detached run ahead of the
+            // neighbor's head. Either way the named segment's head
+            // would stop being one.
+            let safe = protect != Some(if before { id } else { nid } as u32);
+            if oriented && safe && nseg.cities.len() + moved_len <= self.merge_cap {
+                let TwoLevelList {
+                    segments,
+                    city_seg,
+                    city_off,
+                    ..
+                } = self;
+                let (i, j) = (id.min(nid), id.max(nid));
+                let (lo, hi) = segments.split_at_mut(j);
+                let (seg_ref, nseg_ref) = if id < nid {
+                    (&mut lo[i], &mut hi[0])
+                } else {
+                    (&mut hi[0], &mut lo[i])
+                };
+                let base = nseg_ref.cities.len();
+                nseg_ref.cities.extend(seg_ref.cities[cut..].iter().rev());
+                seg_ref.cities.truncate(cut);
+                for (k, &city) in nseg_ref.cities[base..].iter().enumerate() {
+                    city_seg[city as usize] = nid as u32;
+                    city_off[city as usize] = (base + k) as u32;
+                }
+                if before {
+                    self.seg_start[id] = wrap_pos(old_start + moved_len as u32, self.n);
+                } else {
+                    self.seg_start[nid] = wrap_pos(old_start + cut as u32, self.n);
+                }
+                return;
             }
-        };
+        }
+
+        let moved = self.segments[id].cities.split_off(cut);
         let new_id = self.segments.len() as u32;
-        // Fix metadata of the cities that moved into the new segment and
-        // of the ones whose physical offsets shifted.
-        for (off, &city) in prefix_cities.iter().enumerate() {
+        for (o, &city) in moved.iter().enumerate() {
             self.city_seg[city as usize] = new_id;
-            self.city_off[city as usize] = off as u32;
+            self.city_off[city as usize] = o as u32;
         }
-        {
-            let seg = &self.segments[id as usize];
-            for (off, &city) in seg.cities.iter().enumerate() {
-                self.city_off[city as usize] = off as u32;
-            }
-        }
+        let reversed = self.segments[id].reversed;
+        let new_start = if before {
+            // New segment is the logical prefix: it takes the old start
+            // and the old segment begins after it.
+            self.seg_start[id] = wrap_pos(old_start + moved.len() as u32, self.n);
+            old_start
+        } else {
+            // New segment is the logical suffix: it starts after the
+            // kept cities.
+            wrap_pos(old_start + cut as u32, self.n)
+        };
         self.segments.push(Segment {
-            cities: prefix_cities,
+            cities: moved,
             reversed,
         });
-        let pos = self.seg_pos[id as usize] as usize;
+        self.seg_start.push(new_start);
+        let pos = self.seg_pos[id] as usize + usize::from(!before);
         self.order.insert(pos, new_id);
         self.seg_pos.push(pos as u32);
         for p in pos..self.order.len() {
@@ -253,32 +360,67 @@ impl TwoLevelList {
     }
 
     /// Reverse the logical path from city `a` to city `b` (inclusive,
-    /// walking forward). Chooses the representation-cheaper side like
-    /// [`Tour::reverse_segment`]; as an undirected cycle the result is
-    /// identical either way.
+    /// walking forward). Reverses whichever side of the cycle holds
+    /// fewer *cities* (ties go to the forward path), the same rule as
+    /// [`Tour::reverse_segment`] — so a sequence of identical flips
+    /// keeps both representations in directed-orientation lockstep, not
+    /// merely equal as undirected cycles.
     pub fn flip(&mut self, a: usize, b: usize) {
+        // Fast path: the whole forward path a..b lies inside one
+        // segment and is the smaller side of the cycle. Reverse the
+        // cities in place (O(path), like the array tour but bounded by
+        // the segment length) — no splits, no directory growth, so the
+        // common short LK flips never force a rebuild.
+        let id = self.city_seg[a] as usize;
+        if id == self.city_seg[b] as usize {
+            let seg = &self.segments[id];
+            let (oa, ob) = (self.city_off[a] as usize, self.city_off[b] as usize);
+            let (la, lb) = (seg.logical(oa), seg.logical(ob));
+            if la <= lb && 2 * (lb - la + 1) <= self.n {
+                let (plo, phi) = if seg.reversed { (ob, oa) } else { (oa, ob) };
+                let seg = &mut self.segments[id];
+                seg.cities[plo..=phi].reverse();
+                for (k, &city) in seg.cities[plo..=phi].iter().enumerate() {
+                    self.city_off[city as usize] = (plo + k) as u32;
+                }
+                return;
+            }
+        }
         // Make a the head of its segment and next(b) the head of the
         // following segment (i.e. b a segment tail).
         self.split_before(a);
         let after_b = self.next(b);
-        if after_b != a {
-            self.split_before(after_b);
+        if after_b == a {
+            // Whole-tour flip: the array rule reverses the empty
+            // complement, i.e. a no-op.
+            return;
         }
+        self.split_before_protected(after_b, Some(self.city_seg[a]));
         let pa = self.seg_pos[self.city_seg[a] as usize] as usize;
         let pb = self.seg_pos[self.city_seg[b] as usize] as usize;
         let m = self.order.len();
-        // Run from pa to pb (cyclic). If it wraps, flip the complement
-        // instead (same undirected cycle).
-        let (start, count) = if pa <= pb {
-            (pa, pb - pa + 1)
+        // Run of segment handles covering the path a..b (cyclic, may
+        // wrap). Both `a` and `after_b` are segment heads, so the city
+        // count of the path a..b is the seg_start difference — O(1), no
+        // walk over the run.
+        let run = (pb + m - pa) % m + 1;
+        let sa = self.seg_start[self.order[pa] as usize];
+        let sab = self.seg_start[self.city_seg[after_b] as usize];
+        let cities = wrap_pos(sab + self.n as u32 - sa, self.n) as usize;
+        debug_assert!(cities > 0);
+        let (start, count) = if cities * 2 <= self.n {
+            (pa, run)
         } else {
             // Complement: pb+1 ..= pa-1.
-            (pb + 1, (pa + m - pb - 1) % m)
+            ((pb + 1) % m, m - run)
         };
-        if count == 0 || count == m {
+        if count == 0 {
             return;
         }
-        // Reverse the run of segment handles and toggle their flags.
+        // Reverse the run of segment handles, toggle their flags, and
+        // re-derive seg_pos/seg_start cumulatively from the run's first
+        // tour index (unchanged by the reversal).
+        let mut cum = self.seg_start[self.order[start] as usize];
         let (mut i, mut j) = (start, start + count - 1);
         while i < j {
             self.order.swap(i % m, j % m);
@@ -286,9 +428,12 @@ impl TwoLevelList {
             j -= 1;
         }
         for p in start..start + count {
-            let id = self.order[p % m];
-            self.seg_pos[id as usize] = (p % m) as u32;
-            self.segments[id as usize].reversed = !self.segments[id as usize].reversed;
+            let p = p % m;
+            let id = self.order[p] as usize;
+            self.seg_pos[id] = p as u32;
+            self.seg_start[id] = cum;
+            cum = wrap_pos(cum + self.segments[id].cities.len() as u32, self.n);
+            self.segments[id].reversed = !self.segments[id].reversed;
         }
         if self.order.len() > self.max_segments {
             self.rebuild();
@@ -327,10 +472,16 @@ impl TwoLevelList {
         }
         let mut seen = vec![false; self.n];
         let mut total = 0usize;
+        // seg_start must be cumulative (mod n) along `order`.
+        let mut cum = self.seg_start[self.order[0] as usize];
         for (pos, &id) in self.order.iter().enumerate() {
             if self.seg_pos[id as usize] as usize != pos {
                 return false;
             }
+            if self.seg_start[id as usize] != cum {
+                return false;
+            }
+            cum = wrap_pos(cum + self.seg(id).len() as u32, self.n);
             let seg = self.seg(id);
             if seg.cities.is_empty() {
                 return false;
