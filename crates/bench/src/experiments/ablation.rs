@@ -141,8 +141,8 @@ pub fn run(scale: &Scale) -> Report {
                         DelayedTransport::new(e, std::time::Duration::from_millis(delay_ms))
                     })
                     .collect();
-                let results = run_over_transports(&inst, &nl, &cfg, wrapped);
-                lens.push(results.iter().map(|r| r.best_length).min().unwrap() as f64);
+                let result = run_over_transports(&inst, &nl, &cfg, wrapped);
+                lens.push(result.best_length as f64);
             }
             rows.push(vec![format!("{delay_ms} ms"), format!("{:.0}", mean(&lens))]);
             csv.push(format!("latency,{delay_ms}ms,{:.1}", mean(&lens)));

@@ -1,0 +1,165 @@
+//! **Churn experiment** (extension beyond the paper) — tour quality and
+//! recovery behavior under node crashes and rejoins.
+//!
+//! The paper's cluster assumed stable membership for a whole run. This
+//! experiment measures what the self-healing layer buys: for each seed
+//! a [`ChurnSchedule`] kills 2 of the 8 nodes at early rounds and lets
+//! one of them rejoin (with `BestRequest`/`BestReply` state resync),
+//! then the degraded run is compared against the same seed with zero
+//! churn. Expected shape: the network keeps terminating, surviving
+//! tours stay valid, and the quality gap versus the clean run is
+//! small — the hypercube's redundancy plus the repair clique keep
+//! improvements flowing around the corpses.
+//!
+//! Artifacts: a per-seed CSV series and `churn_events.jsonl`, the
+//! merged failure-handling event timeline (peer-down, rejoin, resync)
+//! of the first seed, for offline inspection.
+
+use distclk::{run_lockstep, run_lockstep_churn, ChurnSchedule, DistConfig};
+use lk::Budget;
+use p2p::Topology;
+use tsp_core::{generate, NeighborLists};
+
+use crate::experiments::common::mean;
+use crate::report::Report;
+use crate::testbed::Scale;
+
+pub fn run(scale: &Scale) -> Report {
+    run_mode(scale.size_factor < 1.0)
+}
+
+/// Run the churn sweep. `smoke` keeps the instance and budgets
+/// CI-friendly; the full mode uses a paper-sized instance.
+pub fn run_mode(smoke: bool) -> Report {
+    let (cities, calls, seeds) = if smoke {
+        (200usize, 14u64, 5u64)
+    } else {
+        (1_000, 60, 10)
+    };
+    let nodes = 8usize;
+    let mut report = Report::new(
+        "churn",
+        format!(
+            "Node churn: crashes, self-healing, rejoin with resync ({} mode)",
+            if smoke { "smoke" } else { "full" }
+        ),
+    );
+    report.para(&format!(
+        "Each seed kills 2 of {nodes} nodes on a seeded schedule and \
+         revives one (rejoin + state resync); the same seed is also run \
+         with zero churn as the baseline. Runs use the deterministic \
+         lockstep driver, so every row is exactly reproducible.",
+    ));
+
+    let inst = generate::uniform(cities, 1_000_000.0, 31);
+    let nl = NeighborLists::build(&inst, 10);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut gaps = Vec::new();
+    let mut first_events = Vec::new();
+    for seed in 0..seeds {
+        let cfg = DistConfig {
+            nodes,
+            topology: Topology::Hypercube,
+            budget: Budget::kicks(calls),
+            clk_kicks_per_call: 3,
+            seed,
+            ..Default::default()
+        };
+        let schedule = ChurnSchedule::seeded(seed, nodes, 2, 1);
+        let churned = run_lockstep_churn(&inst, &nl, &cfg, &schedule);
+        let clean = run_lockstep(&inst, &nl, &cfg);
+
+        let aborted = churned.nodes.iter().filter(|n| n.aborted).count();
+        let resyncs = churned.metrics.counter("node.resyncs");
+        let gap = (churned.best_length - clean.best_length) as f64
+            / clean.best_length.max(1) as f64
+            * 100.0;
+        gaps.push(gap);
+        csv.push(format!(
+            "{seed},{aborted},{resyncs},{},{},{:.3}",
+            churned.best_length, clean.best_length, gap
+        ));
+        rows.push(vec![
+            seed.to_string(),
+            aborted.to_string(),
+            resyncs.to_string(),
+            churned.best_length.to_string(),
+            clean.best_length.to_string(),
+            format!("{gap:+.2}%"),
+        ]);
+        if seed == 0 {
+            let keep = [
+                "node.peer_down",
+                "node.rejoin",
+                "node.best_request",
+                "node.best_reply",
+                "node.resync",
+                "node.resync_timeout",
+            ];
+            for n in &churned.nodes {
+                first_events.extend(
+                    n.obs_events
+                        .iter()
+                        .filter(|e| keep.contains(&e.kind.as_ref()))
+                        .cloned(),
+                );
+            }
+            first_events.sort_by_key(|e| e.t_ns);
+        }
+    }
+
+    report.table(
+        &[
+            "Seed",
+            "Aborted",
+            "Resyncs",
+            "Best (churn)",
+            "Best (clean)",
+            "Gap",
+        ],
+        &rows,
+    );
+    report.para(&format!(
+        "Mean quality gap of the churned runs vs their clean baselines: \
+         {:+.2}%.",
+        mean(&gaps)
+    ));
+    report.series(
+        "churn",
+        "seed,aborted,resyncs,best_churn,best_clean,gap_pct",
+        csv,
+    );
+
+    // Failure-handling timeline of seed 0 as JSONL, like the profile
+    // experiment's event log.
+    let path = Report::out_dir().join("churn_events.jsonl");
+    let mut buf = Vec::new();
+    if obs_api::write_jsonl(&mut buf, &first_events).is_ok() && std::fs::write(&path, &buf).is_ok()
+    {
+        report.para(&format!(
+            "Failure-handling event log (seed 0): `{}` ({} events).",
+            path.display(),
+            first_events.len()
+        ));
+    } else {
+        report.para("_Failed to write the JSONL churn event log._");
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_churn_runs_and_renders() {
+        let report = run_mode(true);
+        assert!(report.markdown.contains("Node churn"));
+        assert!(report.markdown.contains("Seed"));
+        assert!(report.csv.iter().any(|(n, _, _)| n == "churn"));
+        let (_, _, rows) = report.csv.iter().find(|(n, _, _)| n == "churn").unwrap();
+        assert_eq!(rows.len(), 5, "one row per smoke seed");
+    }
+}

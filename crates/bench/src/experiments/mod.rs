@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md §4 for the index).
 
 pub mod ablation;
+pub mod churn;
 pub mod common;
 pub mod faults;
 pub mod figure2;
@@ -34,6 +35,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "tune" => tune::run(scale),
         "ablation" => ablation::run(scale),
         "faults" => faults::run(scale),
+        "churn" => churn::run(scale),
         "profile" => profile::run(scale),
         "perf" => perf::run(scale),
         _ => return None,
@@ -42,7 +44,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
 }
 
 /// All experiment ids in suggested execution order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 14] = [
     "table3", "table4", "table5", "table1", "table2", "figure2", "figure3", "messages",
-    "variator", "ablation", "faults", "profile", "perf",
+    "variator", "ablation", "faults", "churn", "profile", "perf",
 ];

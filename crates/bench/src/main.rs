@@ -10,7 +10,7 @@
 //! cargo run -p bench -- list
 //! ```
 
-use bench::experiments::{self, perf, profile};
+use bench::experiments::{self, churn, perf, profile};
 use bench::testbed::Scale;
 
 fn main() {
@@ -27,6 +27,7 @@ fn main() {
             println!("usage: bench <id>|all [--full]");
             println!("       bench profile [<tsplib-file>|<testbed-name>] [--full]");
             println!("       bench perf [--smoke]   # array vs two-level tour sweep");
+            println!("       bench churn [--smoke]  # seeded kill/revive chaos sweep");
         }
         "all" => {
             for id in experiments::ALL {
@@ -37,6 +38,10 @@ fn main() {
         "perf" => {
             // Full sweep (≥10k cities) unless --smoke caps it for CI.
             perf::run_mode(smoke).write().expect("write report");
+        }
+        "churn" => {
+            // Seeded kill/revive chaos sweep; --smoke caps it for CI.
+            churn::run_mode(smoke).write().expect("write report");
         }
         "profile" => {
             let report = match positional.next() {

@@ -34,16 +34,22 @@ pub struct DistResult {
 }
 
 impl DistResult {
-    fn assemble(
+    pub(crate) fn assemble(
         inst: &Instance,
         mut nodes: Vec<NodeResult>,
         messages: (u64, u64, u64),
         secs: f64,
     ) -> Self {
         nodes.sort_by_key(|n| n.id);
+        // Aborted nodes (killed by churn, or panicked threads) carry no
+        // trustworthy tour; pick the best among clean finishers. Only
+        // when *everything* aborted does the degraded record fall back
+        // to whatever partial state survives.
         let best = nodes
             .iter()
+            .filter(|n| !n.aborted)
             .min_by_key(|n| n.best_length)
+            .or_else(|| nodes.iter().min_by_key(|n| n.best_length))
             .expect("at least one node");
         let network_trace =
             Trace::network_best(&nodes.iter().map(|n| n.trace.clone()).collect::<Vec<_>>());
@@ -174,28 +180,40 @@ pub fn run_lockstep_over<T: Transport>(
 /// Run the distributed algorithm over pre-built transports (e.g. the
 /// TCP endpoints from [`p2p::hub::bootstrap_local`] or a real cluster).
 /// One thread per endpoint.
+///
+/// A node thread that panics (poisoned transport, bug, injected chaos)
+/// does **not** bring the run down: its slot is recorded as an aborted
+/// [`NodeResult`] placeholder and every other join still completes, so
+/// the caller always gets a degraded-but-complete [`DistResult`].
 pub fn run_over_transports<T: Transport + 'static>(
     inst: &Instance,
     neighbors: &NeighborLists,
     cfg: &DistConfig,
     transports: Vec<T>,
-) -> Vec<NodeResult> {
-    std::thread::scope(|scope| {
+) -> DistResult {
+    let start = std::time::Instant::now();
+    let results: Vec<NodeResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = transports
             .into_iter()
             .map(|ep| {
+                let id = ep.node_id();
                 let cfg = cfg.clone();
-                scope.spawn(move || {
+                let h = scope.spawn(move || {
                     let node = NodeDriver::new(inst, neighbors, &cfg, ep);
                     node.run_to_completion()
-                })
+                });
+                (id, h)
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("node thread panicked"))
+            .map(|(id, h)| {
+                h.join()
+                    .unwrap_or_else(|_| NodeResult::aborted_placeholder(id, inst.len()))
+            })
             .collect()
-    })
+    });
+    DistResult::assemble(inst, results, (0, 0, 0), start.elapsed().as_secs_f64())
 }
 
 #[cfg(test)]

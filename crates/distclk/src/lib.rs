@@ -29,10 +29,12 @@
 //!   with deterministic message delivery, used by tests and the
 //!   effort-budgeted experiments.
 
+pub mod churn;
 pub mod driver;
 pub mod node;
 pub mod perturb;
 
-pub use driver::{run_lockstep, run_lockstep_over, run_threads, DistResult};
+pub use churn::{run_lockstep_churn, ChurnAction, ChurnSchedule};
+pub use driver::{run_lockstep, run_lockstep_over, run_over_transports, run_threads, DistResult};
 pub use node::{DistConfig, NodeDriver, NodeEvent, NodeResult};
 pub use perturb::{PerturbAction, Perturbator};

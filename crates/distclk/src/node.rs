@@ -47,6 +47,12 @@ pub struct DistConfig {
     pub budget: Budget,
     /// Master seed; node `i` uses `seed * 1000003 + i`.
     pub seed: u64,
+    /// How many loop rounds a rejoining node waits for a validated
+    /// [`Message::BestReply`] before giving up on state resync and
+    /// proceeding from its own constructed tour. In the lockstep driver
+    /// one round suffices for an adjacent live neighbor; the default
+    /// leaves headroom for message loss and thread scheduling.
+    pub resync_patience: u32,
 }
 
 impl Default for DistConfig {
@@ -63,6 +69,7 @@ impl Default for DistConfig {
             forward_received: false,
             budget: Budget::kicks(50),
             seed: 0,
+            resync_patience: 3,
         }
     }
 }
@@ -119,6 +126,33 @@ pub struct NodeResult {
     /// Structured observability events (empty when the `obs` feature
     /// is disabled).
     pub obs_events: Vec<obs_api::Event>,
+    /// The node did not finish cleanly: it was killed by the churn
+    /// driver or its thread panicked. Aborted records are excluded from
+    /// the aggregate best-tour selection.
+    pub aborted: bool,
+}
+
+impl NodeResult {
+    /// Placeholder record for a node whose thread panicked (or was
+    /// killed) before producing a result: no usable tour, zero effort.
+    /// `n_cities` sizes the dummy identity tour.
+    pub fn aborted_placeholder(id: NodeId, n_cities: usize) -> Self {
+        NodeResult {
+            id,
+            best_tour: Tour::identity(n_cities),
+            best_length: i64::MAX,
+            clk_calls: 0,
+            broadcasts: 0,
+            received: 0,
+            rejected: 0,
+            seconds: 0.0,
+            trace: Trace::new(),
+            events: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+            obs_events: Vec::new(),
+            aborted: true,
+        }
+    }
 }
 
 /// One node of the distributed algorithm.
@@ -148,6 +182,9 @@ pub struct NodeDriver<'a, T: Transport> {
     broadcast_seq: u32,
     last_strength: u32,
     terminated: bool,
+    /// Rounds left to wait for a `BestReply` before giving up on state
+    /// resync; `0` means the node is not resyncing.
+    resync_remaining: u32,
 
     trace: Trace,
     events: Vec<NodeEvent>,
@@ -167,6 +204,41 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         Self::new_with_obs(inst, neighbors, cfg, transport, obs)
     }
 
+    /// Create a node that *rejoins* a running network after a crash:
+    /// instead of burning a CLK call on its cold constructed tour, it
+    /// broadcasts a [`Message::BestRequest`] and spends its first
+    /// (up to) `cfg.resync_patience` loop rounds waiting to adopt the
+    /// neighborhood's validated best — population state resync, so a
+    /// restarted node is productive immediately instead of repeating
+    /// work the network already did.
+    pub fn new_rejoining(
+        inst: &'a Instance,
+        neighbors: &'a NeighborLists,
+        cfg: &DistConfig,
+        transport: T,
+    ) -> Self {
+        let obs = Obs::for_node(transport.node_id() as u32);
+        let mut node = Self::construct(inst, neighbors, cfg, transport, obs, false);
+        node.begin_resync(cfg.resync_patience);
+        node
+    }
+
+    /// Switch this node into resync mode: broadcast a best-tour request
+    /// and wait up to `patience` rounds for a reply before optimizing
+    /// locally. Called by [`NodeDriver::new_rejoining`]; exposed so the
+    /// TCP deployment can trigger a resync after a live rewire too.
+    pub fn begin_resync(&mut self, patience: u32) {
+        self.obs
+            .event("node.rejoin", &[("len", Value::U(self.best_len.max(0) as u64))]);
+        let sent = self.transport.broadcast(Message::BestRequest { from: self.id });
+        self.obs.event(
+            "node.best_request",
+            &[("peers", Value::U(sent as u64))],
+        );
+        // Nobody reachable: waiting is pointless, run standalone.
+        self.resync_remaining = if sent > 0 { patience } else { 0 };
+    }
+
     /// Like [`NodeDriver::new`] but with a caller-supplied observability
     /// handle (e.g. a shared one in single-process simulations, or a
     /// ring-sized one for long runs).
@@ -176,6 +248,21 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         cfg: &DistConfig,
         transport: T,
         obs: Obs,
+    ) -> Self {
+        Self::construct(inst, neighbors, cfg, transport, obs, true)
+    }
+
+    /// Shared constructor. A fresh node (`optimize_initial`) runs the
+    /// Fig. 1 preamble `s_best := CLK(INITIALTOUR)`; a rejoining node
+    /// keeps the raw construction — its first improvement should come
+    /// from the neighborhood via resync, not from repeating local work.
+    fn construct(
+        inst: &'a Instance,
+        neighbors: &'a NeighborLists,
+        cfg: &DistConfig,
+        transport: T,
+        obs: Obs,
+        optimize_initial: bool,
     ) -> Self {
         let id = transport.node_id();
         let mut clk_cfg = cfg.clk.clone();
@@ -204,12 +291,17 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         let h_kick_strength = obs.histogram("node.kick_strength");
 
         let mut tour = engine.construct_tour();
-        let len = engine.optimize_tour(&mut tour);
-        c_clk_calls.incr();
-        obs.event(
-            "node.initial",
-            &[("len", Value::U(len.max(0) as u64))],
-        );
+        let len = if optimize_initial {
+            let len = engine.optimize_tour(&mut tour);
+            c_clk_calls.incr();
+            obs.event(
+                "node.initial",
+                &[("len", Value::U(len.max(0) as u64))],
+            );
+            len
+        } else {
+            tour.length(inst)
+        };
 
         let mut trace = Trace::new();
         trace.record(watch.secs(), 0, len);
@@ -241,6 +333,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             broadcast_seq: 0,
             last_strength: 1,
             terminated: false,
+            resync_remaining: 0,
             trace,
             events,
         }
@@ -272,6 +365,18 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         &self.obs
     }
 
+    /// Mutable access to the underlying transport — the churn driver
+    /// uses it to rewire neighbor lists and inject peer-down notices
+    /// between lockstep rounds.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Whether the node is still waiting for a resync reply.
+    pub fn resyncing(&self) -> bool {
+        self.resync_remaining > 0
+    }
+
     /// One CLK call: full LK optimization plus the engine's internal
     /// chained kicks, all in the engine's chosen representation.
     fn clk_call(&mut self, tour: &mut Tour) -> i64 {
@@ -292,6 +397,12 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
     pub fn step(&mut self) -> bool {
         if self.terminated {
             return false;
+        }
+        // A rejoining node spends its first rounds listening for a
+        // BestReply instead of optimizing — adopting the neighborhood's
+        // state beats re-deriving it (see `new_rejoining`).
+        if self.resync_remaining > 0 {
+            return self.resync_step();
         }
         // Known-optimum reached already (possibly by the initial CLK in
         // `new()`): announce before stopping.
@@ -333,64 +444,8 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             ],
         );
 
-        // Merge in everything received meanwhile. Received tours are
-        // untrusted input: the order must be a permutation of the
-        // instance's cities and the sender-claimed length must match
-        // the locally recomputed one — anything else is dropped so a
-        // corrupted frame can never poison `best_len` or panic the
-        // node (and a bogus length is never rebroadcast).
-        let mut best_received: Option<(i64, Tour, NodeId, u64)> = None;
-        for msg in self.transport.drain() {
-            match msg {
-                Message::TourFound {
-                    from,
-                    id,
-                    length,
-                    order,
-                } => {
-                    self.c_received.incr();
-                    self.obs.event(
-                        "node.recv",
-                        &[
-                            ("tour_id", Value::U(id)),
-                            ("from", Value::U(from as u64)),
-                            ("len", Value::I(length)),
-                        ],
-                    );
-                    match self.validate_received(length, order) {
-                        Some((true_len, tour)) => {
-                            if best_received
-                                .as_ref()
-                                .is_none_or(|(l, _, _, _)| true_len < *l)
-                            {
-                                best_received = Some((true_len, tour, from, id));
-                            }
-                        }
-                        None => {
-                            self.c_rejected.incr();
-                            self.obs.event(
-                                "node.reject",
-                                &[
-                                    ("tour_id", Value::U(id)),
-                                    ("from", Value::U(from as u64)),
-                                    ("claimed_len", Value::I(length)),
-                                ],
-                            );
-                        }
-                    }
-                }
-                Message::OptimumFound { from, .. } => {
-                    self.events.push(NodeEvent::PeerFoundOptimum {
-                        secs: self.watch.secs(),
-                        from,
-                    });
-                    self.obs
-                        .event("node.peer_optimum", &[("from", Value::U(from as u64))]);
-                    self.terminated = true;
-                }
-                Message::Leave { .. } => {}
-            }
-        }
+        // Merge in everything received meanwhile.
+        let best_received = self.drain_inbox();
 
         // SELECTBESTTOUR(S_received ∪ {s} ∪ {s_prev}).
         // Strictly-better wins; ties keep the earlier candidate
@@ -536,6 +591,222 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         true
     }
 
+    /// Drain the inbox, handling control traffic in place, and return
+    /// the best *validated* received tour (carried by `TourFound` or
+    /// `BestReply`), if any. Received tours are untrusted input: the
+    /// order must be a permutation of the instance's cities and the
+    /// sender-claimed length must match the locally recomputed one —
+    /// anything else is dropped so a corrupted frame can never poison
+    /// `best_len` or panic the node (and a bogus length is never
+    /// rebroadcast). Also surfaces transport-detected peer deaths as
+    /// `node.peer_down` events.
+    fn drain_inbox(&mut self) -> Option<(i64, Tour, NodeId, u64)> {
+        for dead in self.transport.take_peer_downs() {
+            self.obs
+                .event("node.peer_down", &[("peer", Value::U(dead as u64))]);
+        }
+        let mut best_received: Option<(i64, Tour, NodeId, u64)> = None;
+        for msg in self.transport.drain() {
+            match msg {
+                Message::TourFound {
+                    from,
+                    id,
+                    length,
+                    order,
+                }
+                | Message::BestReply {
+                    from,
+                    id,
+                    length,
+                    order,
+                } => {
+                    self.c_received.incr();
+                    self.obs.event(
+                        "node.recv",
+                        &[
+                            ("tour_id", Value::U(id)),
+                            ("from", Value::U(from as u64)),
+                            ("len", Value::I(length)),
+                        ],
+                    );
+                    match self.validate_received(length, order) {
+                        Some((true_len, tour)) => {
+                            if best_received
+                                .as_ref()
+                                .is_none_or(|(l, _, _, _)| true_len < *l)
+                            {
+                                best_received = Some((true_len, tour, from, id));
+                            }
+                        }
+                        None => {
+                            self.c_rejected.incr();
+                            self.obs.event(
+                                "node.reject",
+                                &[
+                                    ("tour_id", Value::U(id)),
+                                    ("from", Value::U(from as u64)),
+                                    ("claimed_len", Value::I(length)),
+                                ],
+                            );
+                        }
+                    }
+                }
+                Message::OptimumFound { from, .. } => {
+                    self.events.push(NodeEvent::PeerFoundOptimum {
+                        secs: self.watch.secs(),
+                        from,
+                    });
+                    self.obs
+                        .event("node.peer_optimum", &[("from", Value::U(from as u64))]);
+                    self.terminated = true;
+                }
+                Message::Leave { .. } => {}
+                // Over TCP, pings are answered inside the endpoint's
+                // reader thread and never reach this loop; in-memory
+                // transports surface them here, so answer for parity.
+                Message::Ping { from } => {
+                    let _ = self.transport.send(from, Message::Pong { from: self.id });
+                }
+                Message::Pong { .. } => {}
+                Message::BestRequest { from } => self.answer_best_request(from),
+            }
+        }
+        best_received
+    }
+
+    /// Answer a rejoining peer's state-resync request with this node's
+    /// current best tour.
+    fn answer_best_request(&mut self, to: NodeId) {
+        let tour_id = broadcast_id(self.id, self.broadcast_seq);
+        self.broadcast_seq += 1;
+        if self
+            .transport
+            .send(
+                to,
+                Message::BestReply {
+                    from: self.id,
+                    id: tour_id,
+                    length: self.best_len,
+                    order: self.best_tour.order().to_vec(),
+                },
+            )
+            .is_ok()
+        {
+            self.obs.event(
+                "node.best_reply",
+                &[
+                    ("to", Value::U(to as u64)),
+                    ("tour_id", Value::U(tour_id)),
+                    ("len", Value::I(self.best_len)),
+                ],
+            );
+        }
+    }
+
+    /// One resync round: listen for a `BestReply` (or any tour) instead
+    /// of running CLK. Ends resync mode on the first validated reply —
+    /// adopted only if strictly better than the local construction —
+    /// or after the patience runs out.
+    fn resync_step(&mut self) -> bool {
+        self.resync_remaining -= 1;
+        let best_received = self.drain_inbox();
+        if self.terminated {
+            // A peer announced the optimum while we were resyncing.
+            self.finishing_touches();
+            return false;
+        }
+        if let Some((len, tour, from, tour_id)) = best_received {
+            let adopted = len < self.best_len;
+            if adopted {
+                self.best_tour = tour;
+                self.best_len = len;
+                self.trace
+                    .record(self.watch.secs(), self.c_clk_calls.get(), len);
+                self.events.push(NodeEvent::Improved {
+                    secs: self.watch.secs(),
+                    length: len,
+                    local: false,
+                });
+            }
+            self.obs.counter("node.resyncs").incr();
+            self.obs.event(
+                "node.resync",
+                &[
+                    ("tour_id", Value::U(tour_id)),
+                    ("from", Value::U(from as u64)),
+                    ("len", Value::I(len)),
+                    ("adopted", Value::U(adopted as u64)),
+                ],
+            );
+            self.resync_remaining = 0;
+            self.s_prev = self.best_tour.clone();
+            self.prev_len = self.best_len;
+        } else if self.resync_remaining == 0 {
+            self.obs.event("node.resync_timeout", &[]);
+        }
+        if self.budget.target_met(self.best_len) {
+            self.announce_optimum();
+            return false;
+        }
+        if self.budget_exhausted() {
+            self.finishing_touches();
+            return false;
+        }
+        true
+    }
+
+    /// Serialize this node's resumable state — best tour plus the
+    /// adaptive `NumNoImprovements` counter — as one wire frame (the
+    /// tour rides in a `TourFound`, the counter in its id field), so
+    /// the checkpoint format needs no second codec.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        p2p::codec::encode(&Message::TourFound {
+            from: self.id,
+            id: self.perturb.no_improvements() as u64,
+            length: self.best_len,
+            order: self.best_tour.order().to_vec(),
+        })
+        .to_vec()
+    }
+
+    /// Restore state from a [`NodeDriver::checkpoint`] blob. The tour
+    /// is validated exactly like a received one (a stale or corrupted
+    /// checkpoint must not poison the node) and adopted only if it
+    /// beats the current best. Returns `false` when the blob is
+    /// rejected.
+    pub fn restore(&mut self, checkpoint: &[u8]) -> bool {
+        let mut reader = checkpoint;
+        let Ok(Message::TourFound {
+            id, length, order, ..
+        }) = p2p::codec::read_frame(&mut reader)
+        else {
+            return false;
+        };
+        let Some((len, tour)) = self.validate_received(length, order) else {
+            return false;
+        };
+        if len < self.best_len {
+            self.best_tour = tour;
+            self.best_len = len;
+            self.s_prev = self.best_tour.clone();
+            self.prev_len = len;
+            self.trace
+                .record(self.watch.secs(), self.c_clk_calls.get(), len);
+            self.events.push(NodeEvent::Improved {
+                secs: self.watch.secs(),
+                length: len,
+                local: false,
+            });
+        }
+        self.perturb
+            .set_no_improvements(id.min(u32::MAX as u64) as u32);
+        self.obs.event(
+            "node.restore",
+            &[("len", Value::I(len)), ("no_improvements", Value::U(id))],
+        );
+        true
+    }
+
     /// Validate one received tour against the local instance: right
     /// city count, a real permutation, and a truthful length claim.
     /// Returns the recomputed length and the tour, or `None` when the
@@ -593,6 +864,19 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
     /// the exported metrics can never disagree.
     pub fn finish(mut self) -> NodeResult {
         self.finishing_touches();
+        self.into_result(false)
+    }
+
+    /// Consume the driver as a *crash*: unlike [`NodeDriver::finish`]
+    /// no `Leave` is sent — peers learn of the death only through
+    /// failure detection, exactly like a killed process. The partial
+    /// result is returned with [`NodeResult::aborted`] set.
+    pub fn abort(mut self) -> NodeResult {
+        self.terminated = true;
+        self.into_result(true)
+    }
+
+    fn into_result(self, aborted: bool) -> NodeResult {
         NodeResult {
             id: self.id,
             best_length: self.best_len,
@@ -606,6 +890,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             events: self.events,
             metrics: self.obs.snapshot(),
             obs_events: self.obs.events(),
+            aborted,
         }
     }
 

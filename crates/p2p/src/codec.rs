@@ -14,6 +14,10 @@ use crate::NetError;
 const TAG_TOUR: u8 = 1;
 const TAG_OPTIMUM: u8 = 2;
 const TAG_LEAVE: u8 = 3;
+const TAG_PING: u8 = 4;
+const TAG_PONG: u8 = 5;
+const TAG_BEST_REQUEST: u8 = 6;
+const TAG_BEST_REPLY: u8 = 7;
 
 /// Maximum accepted payload (guards against corrupt length prefixes):
 /// a tour of 10 million cities is ~40 MB.
@@ -48,6 +52,33 @@ pub fn encode(msg: &Message) -> Bytes {
         Message::Leave { from } => {
             buf.put_u8(TAG_LEAVE);
             buf.put_u64_le(*from as u64);
+        }
+        Message::Ping { from } => {
+            buf.put_u8(TAG_PING);
+            buf.put_u64_le(*from as u64);
+        }
+        Message::Pong { from } => {
+            buf.put_u8(TAG_PONG);
+            buf.put_u64_le(*from as u64);
+        }
+        Message::BestRequest { from } => {
+            buf.put_u8(TAG_BEST_REQUEST);
+            buf.put_u64_le(*from as u64);
+        }
+        Message::BestReply {
+            from,
+            id,
+            length,
+            order,
+        } => {
+            buf.put_u8(TAG_BEST_REPLY);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*id);
+            buf.put_i64_le(*length);
+            buf.put_u32_le(order.len() as u32);
+            for &c in order {
+                buf.put_u32_le(c);
+            }
         }
     }
     debug_assert_eq!(buf.len(), 4 + body_len);
@@ -98,6 +129,52 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
             }
             Ok(Message::Leave {
                 from: payload.get_u64_le() as usize,
+            })
+        }
+        TAG_PING => {
+            if payload.remaining() != 8 {
+                return Err(err("bad Ping size"));
+            }
+            Ok(Message::Ping {
+                from: payload.get_u64_le() as usize,
+            })
+        }
+        TAG_PONG => {
+            if payload.remaining() != 8 {
+                return Err(err("bad Pong size"));
+            }
+            Ok(Message::Pong {
+                from: payload.get_u64_le() as usize,
+            })
+        }
+        TAG_BEST_REQUEST => {
+            if payload.remaining() != 8 {
+                return Err(err("bad BestRequest size"));
+            }
+            Ok(Message::BestRequest {
+                from: payload.get_u64_le() as usize,
+            })
+        }
+        TAG_BEST_REPLY => {
+            if payload.remaining() < 8 + 8 + 8 + 4 {
+                return Err(err("truncated BestReply header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let id = payload.get_u64_le();
+            let length = payload.get_i64_le();
+            let n = payload.get_u32_le() as usize;
+            if payload.remaining() != 4 * n {
+                return Err(err("BestReply order length mismatch"));
+            }
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(payload.get_u32_le());
+            }
+            Ok(Message::BestReply {
+                from,
+                id,
+                length,
+                order,
             })
         }
         t => Err(err(&format!("unknown tag {t}"))),
@@ -152,6 +229,15 @@ mod tests {
             length: i64::MAX,
         });
         roundtrip(Message::Leave { from: usize::MAX >> 1 });
+        roundtrip(Message::Ping { from: 3 });
+        roundtrip(Message::Pong { from: 4 });
+        roundtrip(Message::BestRequest { from: 5 });
+        roundtrip(Message::BestReply {
+            from: 6,
+            id: crate::message::broadcast_id(6, 1),
+            length: 4242,
+            order: (0..33).rev().collect(),
+        });
     }
 
     #[test]

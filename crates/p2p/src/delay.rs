@@ -119,15 +119,18 @@ mod tests {
         }
         // The delay clock starts at the first poll (lazy ingestion), so
         // poll until everything drained.
-        let deadline = Instant::now() + Duration::from_millis(500);
         let mut got = Vec::new();
-        while got.len() < 5 && Instant::now() < deadline {
-            match b.try_recv() {
-                Some(Message::OptimumFound { length, .. }) => got.push(length),
-                Some(_) => panic!("unexpected message"),
-                None => std::thread::sleep(Duration::from_millis(1)),
-            }
-        }
+        crate::util::wait_until(
+            || {
+                match b.try_recv() {
+                    Some(Message::OptimumFound { length, .. }) => got.push(length),
+                    Some(_) => panic!("unexpected message"),
+                    None => {}
+                }
+                got.len() >= 5
+            },
+            Duration::from_millis(500),
+        );
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
     }
 

@@ -13,15 +13,21 @@
 //! (`JOIN <addr>` → `ID <id> EXPECT <n> NEIGHBORS <id>@<addr>;…`),
 //! deliberately separate from the binary peer protocol.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use crossbeam::channel::{unbounded, RecvTimeoutError};
 use obs_api::{Obs, Value};
+use parking_lot::Mutex;
 
 use crate::message::NodeId;
-use crate::tcp::TcpConfig;
-use crate::topology::Topology;
+use crate::tcp::{TcpConfig, TcpEndpoint};
+use crate::topology::{Membership, Topology};
 use crate::NetError;
 
 /// A running hub, serving until `expected` nodes have joined.
@@ -118,10 +124,14 @@ fn serve_one(
     expected: usize,
     topology: Topology,
 ) -> Result<(NodeId, usize), NetError> {
-    // Bound the request read: a connector that never sends its JOIN
-    // line must not wedge the hub for everyone else.
+    // Bound the request read and the reply write: a connector that
+    // never sends its JOIN line (or never drains the reply) must not
+    // wedge the hub for everyone else.
     stream
         .set_read_timeout(Some(TcpConfig::default().handshake_timeout))
+        .ok();
+    stream
+        .set_write_timeout(Some(TcpConfig::default().handshake_timeout))
         .ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
@@ -134,7 +144,6 @@ fn serve_one(
         .parse()
         .map_err(|e| NetError::Codec(format!("bad address {:?}: {e}", parts[1])))?;
     let id = joined.len() as NodeId;
-    joined.push(listen);
     // Neighbors in the final topology that already joined.
     let neighbors: Vec<String> = topology
         .neighbors(id, expected)
@@ -149,6 +158,9 @@ fn serve_one(
         neighbors.join(";")
     )?;
     w.flush()?;
+    // Commit the slot only after the reply went out: a client that
+    // disconnected mid-handshake never joined and its id is reused.
+    joined.push(listen);
     Ok((id, neighbors.len()))
 }
 
@@ -255,6 +267,447 @@ pub fn bootstrap_local(n: usize, topology: Topology) -> Result<Vec<crate::tcp::T
     }
     hub.join();
     Ok(endpoints)
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle hub: membership management beyond bootstrap.
+// ---------------------------------------------------------------------
+
+/// Shared state of a [`LifecycleHub`].
+struct LifecycleState {
+    /// Listen addresses by node id; `None` until the id has joined.
+    joined: Vec<Option<SocketAddr>>,
+    /// Live membership + repaired adjacency (the repair rule lives in
+    /// [`Membership`], shared with the in-memory churn driver).
+    membership: Membership,
+    /// Repair group per dead node, remembered so every reporter of the
+    /// same death — not just the first — receives its assignments.
+    repair_memo: HashMap<NodeId, Vec<NodeId>>,
+    expected: usize,
+    complete: bool,
+}
+
+/// A hub promoted from one-shot bootstrapper to lifecycle manager: it
+/// keeps serving after bootstrap, accepting three request kinds:
+///
+/// - `JOIN <addr>` — bootstrap join, exactly as [`Hub`];
+/// - `DOWN <reporter> <dead>` — a node reports a dead peer; the hub
+///   rewires the topology around the hole (dimension-neighbor
+///   fallback, see [`Membership::fail`]) and answers
+///   `REPAIR <id>@<addr>;…` with the links the *reporter* must dial.
+///   Only higher-id group members are assigned to a reporter, so each
+///   repair edge is dialed from exactly one side;
+/// - `REJOIN <id> <addr>` — a restarted node rejoins under its old id;
+///   the hub marks it alive again and answers with the standard
+///   `ID … EXPECT … NEIGHBORS …` reply listing the alive neighbors to
+///   dial.
+///
+/// Every connection is served on its own short-lived thread under a
+/// read deadline, so a malformed, truncated, or wedged request can
+/// neither consume a join slot nor stall the hub for everyone else.
+/// Hub failure itself is out of scope (see DESIGN.md "Failure model").
+pub struct LifecycleHub {
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    obs: Obs,
+}
+
+impl LifecycleHub {
+    /// Start a lifecycle hub on `addr` (port 0 for ephemeral) for a
+    /// network of `expected` nodes.
+    pub fn start(addr: &str, expected: usize, topology: Topology) -> Result<Self, NetError> {
+        Self::start_with(addr, expected, topology, Obs::disabled())
+    }
+
+    /// [`LifecycleHub::start`] with an observability handle: joins,
+    /// rejections, deaths (`hub.down`), repairs (`hub.repair`), and
+    /// rejoins (`hub.rejoin`) are recorded as structured events.
+    pub fn start_with(
+        addr: &str,
+        expected: usize,
+        topology: Topology,
+        obs: Obs,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(LifecycleState {
+            joined: vec![None; expected],
+            membership: Membership::new(topology, expected),
+            repair_memo: HashMap::new(),
+            expected,
+            complete: false,
+        }));
+        let loop_stop = Arc::clone(&stop);
+        let loop_obs = obs.clone();
+        let thread = std::thread::Builder::new()
+            .name("p2p-hub-lifecycle".into())
+            .spawn(move || lifecycle_loop(listener, state, loop_stop, loop_obs))
+            .expect("spawn hub thread");
+        Ok(LifecycleHub {
+            addr,
+            thread: Some(thread),
+            stop,
+            obs,
+        })
+    }
+
+    /// Address nodes should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hub's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Stop serving and join the hub thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LifecycleHub {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lifecycle_loop(
+    listener: TcpListener,
+    state: Arc<Mutex<LifecycleState>>,
+    stop: Arc<AtomicBool>,
+    obs: Obs,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => break,
+        };
+        if stop.load(Ordering::Acquire) {
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        let conn_state = Arc::clone(&state);
+        let conn_obs = obs.clone();
+        let handle = std::thread::Builder::new()
+            .name("p2p-hub-conn".into())
+            .spawn(move || {
+                if let Err(e) = serve_lifecycle(stream, &conn_state, &conn_obs) {
+                    conn_obs.counter("hub.rejects").incr();
+                    conn_obs.event("hub.reject", &[("error", Value::S(e.to_string()))]);
+                }
+            })
+            .expect("spawn hub connection thread");
+        conns.retain(|h| !h.is_finished());
+        conns.push(handle);
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Serve one lifecycle request (`JOIN` / `DOWN` / `REJOIN`) under read
+/// and write deadlines.
+fn serve_lifecycle(
+    stream: TcpStream,
+    state: &Mutex<LifecycleState>,
+    obs: &Obs,
+) -> Result<(), NetError> {
+    let deadline = TcpConfig::default().handshake_timeout;
+    stream.set_read_timeout(Some(deadline)).ok();
+    stream.set_write_timeout(Some(deadline)).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let tokens: Vec<&str> = line.trim().split(' ').collect();
+    let mut w = stream;
+    match tokens.as_slice() {
+        ["JOIN", addr] => {
+            let listen: SocketAddr = addr
+                .parse()
+                .map_err(|e| NetError::Codec(format!("bad address {addr:?}: {e}")))?;
+            let mut st = state.lock();
+            let id = st
+                .joined
+                .iter()
+                .position(|a| a.is_none())
+                .ok_or_else(|| NetError::Codec("network full".into()))?;
+            let expected = st.expected;
+            let neighbors: Vec<String> = st
+                .membership
+                .neighbors(id)
+                .into_iter()
+                .filter_map(|m| st.joined[m].map(|a| format!("{m}@{a}")))
+                .collect();
+            writeln!(
+                w,
+                "ID {id} EXPECT {expected} NEIGHBORS {}",
+                neighbors.join(";")
+            )?;
+            w.flush()?;
+            // Commit only after the reply went out (see `serve_one`).
+            st.joined[id] = Some(listen);
+            obs.counter("hub.joins").incr();
+            obs.event(
+                "hub.join",
+                &[
+                    ("id", Value::U(id as u64)),
+                    ("neighbors", Value::U(neighbors.len() as u64)),
+                ],
+            );
+            if !st.complete && st.joined.iter().all(|a| a.is_some()) {
+                st.complete = true;
+                obs.event("hub.complete", &[("nodes", Value::U(expected as u64))]);
+            }
+            Ok(())
+        }
+        ["DOWN", reporter, dead] => {
+            let reporter: NodeId = reporter
+                .parse()
+                .map_err(|_| NetError::Codec("bad reporter id".into()))?;
+            let dead: NodeId = dead
+                .parse()
+                .map_err(|_| NetError::Codec("bad dead id".into()))?;
+            let mut st = state.lock();
+            if reporter >= st.expected || dead >= st.expected || reporter == dead {
+                return Err(NetError::Codec(format!(
+                    "bad DOWN {reporter} {dead} in network of {}",
+                    st.expected
+                )));
+            }
+            if st.membership.is_alive(dead) {
+                let group = st.membership.fail(dead);
+                obs.counter("hub.downs").incr();
+                obs.event(
+                    "hub.down",
+                    &[
+                        ("dead", Value::U(dead as u64)),
+                        ("reporter", Value::U(reporter as u64)),
+                        ("repair_group", Value::U(group.len() as u64)),
+                    ],
+                );
+                st.repair_memo.insert(dead, group);
+            }
+            // Each repair edge is dialed by its lower-id endpoint, so
+            // a reporter is assigned only the higher-id group members
+            // (the reverse edge registers automatically on accept).
+            let group = st.repair_memo.get(&dead).cloned().unwrap_or_default();
+            let assignments: Vec<String> = if group.contains(&reporter) {
+                group
+                    .iter()
+                    .filter(|&&m| m > reporter)
+                    .filter_map(|&m| st.joined[m].map(|a| format!("{m}@{a}")))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            writeln!(w, "REPAIR {}", assignments.join(";"))?;
+            w.flush()?;
+            if !assignments.is_empty() {
+                obs.event(
+                    "hub.repair",
+                    &[
+                        ("reporter", Value::U(reporter as u64)),
+                        ("assignments", Value::U(assignments.len() as u64)),
+                    ],
+                );
+            }
+            Ok(())
+        }
+        ["REJOIN", id, addr] => {
+            let id: NodeId = id
+                .parse()
+                .map_err(|_| NetError::Codec("bad rejoin id".into()))?;
+            let listen: SocketAddr = addr
+                .parse()
+                .map_err(|e| NetError::Codec(format!("bad address {addr:?}: {e}")))?;
+            let mut st = state.lock();
+            if id >= st.expected {
+                return Err(NetError::Codec(format!(
+                    "rejoin id {id} out of 0..{}",
+                    st.expected
+                )));
+            }
+            let expected = st.expected;
+            st.membership.rejoin(id);
+            st.repair_memo.remove(&id);
+            let neighbors: Vec<String> = st
+                .membership
+                .neighbors(id)
+                .into_iter()
+                .filter_map(|m| st.joined[m].map(|a| format!("{m}@{a}")))
+                .collect();
+            writeln!(
+                w,
+                "ID {id} EXPECT {expected} NEIGHBORS {}",
+                neighbors.join(";")
+            )?;
+            w.flush()?;
+            st.joined[id] = Some(listen);
+            obs.counter("hub.rejoins").incr();
+            obs.event(
+                "hub.rejoin",
+                &[
+                    ("id", Value::U(id as u64)),
+                    ("neighbors", Value::U(neighbors.len() as u64)),
+                ],
+            );
+            Ok(())
+        }
+        _ => Err(NetError::Codec(format!("bad hub request {line:?}"))),
+    }
+}
+
+/// Report a dead peer to the hub and parse the repair assignments the
+/// reporter must dial. Retries with backoff like [`join_via_hub_with`].
+pub fn report_down(
+    hub: SocketAddr,
+    reporter: NodeId,
+    dead: NodeId,
+    cfg: &TcpConfig,
+) -> Result<Vec<(NodeId, SocketAddr)>, NetError> {
+    retry_request(cfg, || {
+        let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+        stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+        stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
+        writeln!(stream, "DOWN {reporter} {dead}")?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        parse_repair_reply(&line)
+    })
+}
+
+/// Rejoin a network under a previously assigned id after a restart.
+/// The reply lists the alive neighbors to dial (same format as a
+/// bootstrap join).
+pub fn rejoin_via_hub(
+    hub: SocketAddr,
+    id: NodeId,
+    listen: SocketAddr,
+    cfg: &TcpConfig,
+) -> Result<JoinInfo, NetError> {
+    retry_request(cfg, || {
+        let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+        stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+        stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
+        writeln!(stream, "REJOIN {id} {listen}")?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        parse_join_reply(&line)
+    })
+}
+
+fn retry_request<T>(
+    cfg: &TcpConfig,
+    mut attempt: impl FnMut() -> Result<T, NetError>,
+) -> Result<T, NetError> {
+    let mut backoff = cfg.backoff_base;
+    let mut last_err = NetError::Closed;
+    for n in 0..=cfg.connect_retries {
+        if n > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(cfg.backoff_max);
+        }
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+fn parse_repair_reply(line: &str) -> Result<Vec<(NodeId, SocketAddr)>, NetError> {
+    let err = |m: String| NetError::Codec(m);
+    let rest = line
+        .trim()
+        .strip_prefix("REPAIR")
+        .ok_or_else(|| err(format!("bad repair reply {line:?}")))?
+        .trim();
+    let mut assignments = Vec::new();
+    for item in rest.split(';').filter(|s| !s.is_empty()) {
+        let (nid, addr) = item
+            .split_once('@')
+            .ok_or_else(|| err(format!("bad assignment {item:?}")))?;
+        assignments.push((
+            nid.parse().map_err(|_| err("bad assignment id".into()))?,
+            addr.parse()
+                .map_err(|_| err(format!("bad assignment addr {addr:?}")))?,
+        ));
+    }
+    Ok(assignments)
+}
+
+/// A self-healing attachment on a [`TcpEndpoint`]: whenever the
+/// endpoint declares a peer down (liveness timeout or connection
+/// loss), a background thread reports the death to the lifecycle hub
+/// and dials the repair assignments it gets back — so `NodeDriver`
+/// sees its neighbor list heal live without knowing about the hub.
+/// Dropping (or [`SelfHealing::stop`]-ping) the guard detaches it.
+pub struct SelfHealing {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Attach self-healing to an endpoint (see [`SelfHealing`]).
+pub fn attach_self_healing(ep: &TcpEndpoint, hub: SocketAddr, cfg: TcpConfig) -> SelfHealing {
+    let handle = ep.handle();
+    let (tx, rx) = unbounded::<NodeId>();
+    ep.set_peer_down_hook(move |dead| {
+        let _ = tx.send(dead);
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("p2p-self-heal".into())
+        .spawn(move || {
+            while !thread_stop.load(Ordering::Acquire) {
+                match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(dead) => {
+                        if let Ok(assignments) = report_down(hub, handle.node_id(), dead, &cfg) {
+                            for (nid, addr) in assignments {
+                                let _ = handle.connect_to(nid, addr);
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("spawn self-healing thread");
+    SelfHealing {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+impl SelfHealing {
+    /// Detach: stop reporting deaths and join the thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SelfHealing {
+    fn drop(&mut self) {
+        self.stop();
+    }
 }
 
 #[cfg(test)]
@@ -371,18 +824,188 @@ mod tests {
         hub.join();
     }
 
+    /// Satellite bugfix: malformed and truncated JOIN lines, and a
+    /// client that disconnects mid-handshake, must not consume any of
+    /// the `expected` slots — the full network still bootstraps.
+    #[test]
+    fn bad_handshakes_do_not_consume_slots() {
+        let hub = Hub::start("127.0.0.1:0", 3, Topology::Ring).unwrap();
+        let addr = hub.addr();
+        {
+            // Truncated request (no newline), then disconnect.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"JOI").unwrap();
+        }
+        {
+            // Disconnect before sending anything.
+            let _s = TcpStream::connect(addr).unwrap();
+        }
+        {
+            // Malformed but complete line.
+            let mut s = TcpStream::connect(addr).unwrap();
+            writeln!(s, "JOIN not-an-address").unwrap();
+        }
+        // All three expected nodes still get ids 0..3.
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let listen: SocketAddr = format!("127.0.0.1:{}", 40030 + i).parse().unwrap();
+            ids.push(join_via_hub(addr, listen).unwrap().id);
+        }
+        hub.join();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    /// The lifecycle protocol at the wire level: bootstrap, a death
+    /// with repair assignments for every reporter, and a rejoin.
+    #[test]
+    fn lifecycle_hub_serves_down_and_rejoin() {
+        let obs = Obs::for_node(u32::MAX - 1);
+        let mut hub =
+            LifecycleHub::start_with("127.0.0.1:0", 4, Topology::Ring, obs.clone()).unwrap();
+        let addr = hub.addr();
+        let cfg = TcpConfig::default();
+        let listens: Vec<SocketAddr> = (0..4)
+            .map(|i| format!("127.0.0.1:{}", 40040 + i).parse().unwrap())
+            .collect();
+        for (i, &l) in listens.iter().enumerate() {
+            assert_eq!(join_via_hub(addr, l).unwrap().id, i);
+        }
+
+        // Node 2 dies; ring neighbors 1 and 3 both report. The repair
+        // edge 1–3 is dialed by its lower endpoint only.
+        let from_1 = report_down(addr, 1, 2, &cfg).unwrap();
+        assert_eq!(from_1, vec![(3, listens[3])]);
+        let from_3 = report_down(addr, 3, 2, &cfg).unwrap();
+        assert!(from_3.is_empty());
+        // A duplicate report is idempotent.
+        assert_eq!(report_down(addr, 1, 2, &cfg).unwrap(), vec![(3, listens[3])]);
+        // A bystander that never knew the dead node gets nothing.
+        assert!(report_down(addr, 0, 2, &cfg).unwrap().is_empty());
+
+        // Node 2 rejoins from a new port and is told its alive
+        // static-topology neighbors.
+        let new_listen: SocketAddr = "127.0.0.1:40049".parse().unwrap();
+        let info = rejoin_via_hub(addr, 2, new_listen, &cfg).unwrap();
+        assert_eq!(info.id, 2);
+        let mut back: Vec<NodeId> = info.neighbors.iter().map(|&(i, _)| i).collect();
+        back.sort_unstable();
+        assert_eq!(back, vec![1, 3]);
+
+        // Garbage is rejected without wedging the hub.
+        assert!(report_down(addr, 9, 9, &TcpConfig::fast_fail()).is_err());
+        hub.stop();
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hub.joins"), 4);
+        assert_eq!(snap.counter("hub.downs"), 1);
+        assert_eq!(snap.counter("hub.rejoins"), 1);
+        if obs_api::ENABLED {
+            let events = obs.events();
+            assert!(events.iter().any(|e| e.kind == "hub.down"));
+            assert!(events.iter().any(|e| e.kind == "hub.repair"));
+            assert!(events.iter().any(|e| e.kind == "hub.rejoin"));
+            assert!(events.iter().any(|e| e.kind == "hub.complete"));
+        }
+    }
+
+    /// End-to-end self-healing over real sockets: a 4-ring loses node
+    /// 2; liveness detects it, the hub hands out the 1–3 repair edge,
+    /// and the survivors' neighbor lists heal without any manual
+    /// rewiring. The dead node then rejoins and is rewired in.
+    #[test]
+    fn self_healing_ring_survives_kill_and_rejoin() {
+        let mut hub = LifecycleHub::start("127.0.0.1:0", 4, Topology::Ring).unwrap();
+        let hub_addr = hub.addr();
+        let cfg = TcpConfig::fast_fail().with_liveness(Duration::from_millis(400));
+
+        let mut eps: Vec<TcpEndpoint> = Vec::new();
+        let mut healers = Vec::new();
+        for _ in 0..4 {
+            let mut ep = TcpEndpoint::bind_with(usize::MAX, "127.0.0.1:0", cfg.clone()).unwrap();
+            let info = join_via_hub(hub_addr, ep.listen_addr()).unwrap();
+            ep.set_id(info.id);
+            for (nid, addr) in &info.neighbors {
+                ep.connect_to(*nid, *addr).unwrap();
+            }
+            healers.push(attach_self_healing(&ep, hub_addr, cfg.clone()));
+            eps.push(ep);
+        }
+        assert!(crate::util::wait_until(
+            || eps.iter().all(|e| e.neighbors().len() == 2),
+            Duration::from_secs(5)
+        ));
+
+        // Kill node 2 without a Leave (crash semantics).
+        let mut dead = eps.remove(2);
+        healers.remove(2).stop();
+        dead.shutdown();
+
+        // Ring neighbors 1 and 3 must detect the death and acquire the
+        // repair edge 1–3; node 0 keeps its original neighbors.
+        assert!(
+            crate::util::wait_until(
+                || {
+                    let n1 = eps[1].neighbors();
+                    let n3 = eps[2].neighbors();
+                    n1.contains(&3) && n3.contains(&1) && !n1.contains(&2) && !n3.contains(&2)
+                },
+                Duration::from_secs(10)
+            ),
+            "repair edge 1-3 never appeared: 1->{:?} 3->{:?}",
+            eps[1].neighbors(),
+            eps[2].neighbors()
+        );
+
+        // Node 2 rejoins under its old id from a fresh socket.
+        let mut back = TcpEndpoint::bind_with(usize::MAX, "127.0.0.1:0", cfg.clone()).unwrap();
+        let info = rejoin_via_hub(hub_addr, 2, back.listen_addr(), &cfg).unwrap();
+        assert_eq!(info.id, 2);
+        back.set_id(2);
+        for (nid, addr) in &info.neighbors {
+            back.connect_to(*nid, *addr).unwrap();
+        }
+        assert!(crate::util::wait_until(
+            || {
+                back.neighbors().len() == 2
+                    && eps[1].neighbors().contains(&2)
+                    && eps[2].neighbors().contains(&2)
+            },
+            Duration::from_secs(5)
+        ));
+
+        for h in &mut healers {
+            h.stop();
+        }
+        back.shutdown();
+        for e in &mut eps {
+            e.shutdown();
+        }
+        hub.stop();
+    }
+
+    #[test]
+    fn parse_repair_replies() {
+        assert_eq!(parse_repair_reply("REPAIR \n").unwrap(), vec![]);
+        assert_eq!(
+            parse_repair_reply("REPAIR 3@127.0.0.1:9003;5@127.0.0.1:9005\n").unwrap(),
+            vec![
+                (3, "127.0.0.1:9003".parse().unwrap()),
+                (5, "127.0.0.1:9005".parse().unwrap()),
+            ]
+        );
+        assert!(parse_repair_reply("NOPE").is_err());
+        assert!(parse_repair_reply("REPAIR x@y").is_err());
+    }
+
     #[test]
     fn bootstrap_local_wires_full_topology() {
         let mut eps = bootstrap_local(4, Topology::Ring).unwrap();
         // Give reverse edges a moment to register.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
-        loop {
-            let complete = eps.iter().all(|e| e.neighbors().len() == 2);
-            if complete || std::time::Instant::now() > deadline {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
+        crate::util::wait_until(
+            || eps.iter().all(|e| e.neighbors().len() == 2),
+            std::time::Duration::from_secs(3),
+        );
         for (i, e) in eps.iter().enumerate() {
             let mut nb = e.neighbors();
             nb.sort_unstable();

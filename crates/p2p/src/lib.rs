@@ -28,13 +28,15 @@ pub mod message;
 pub mod tcp;
 pub mod topology;
 pub mod transport;
+pub mod util;
 
 pub use fault::{FaultConfig, FaultyTransport};
 pub use memory::InMemoryNetwork;
 pub use message::{broadcast_id, Message, NodeId};
 pub use tcp::TcpConfig;
-pub use topology::Topology;
+pub use topology::{Membership, Topology};
 pub use transport::Transport;
+pub use util::wait_until;
 
 /// Networking error type.
 #[derive(Debug)]

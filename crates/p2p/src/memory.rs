@@ -58,6 +58,36 @@ pub struct MemoryEndpoint {
     /// left.
     peers: Arc<RwLock<Vec<Option<Sender<Message>>>>>,
     stats: Arc<NetStats>,
+    /// Peers declared dead since the last [`Transport::take_peer_downs`]
+    /// call. The churn driver fills this on survivors so the node loop
+    /// observes failures the same way it would over TCP liveness probes.
+    pending_downs: Vec<NodeId>,
+}
+
+impl MemoryEndpoint {
+    /// Add `peer` to the neighbor list (topology repair). No-op when
+    /// already present.
+    pub fn add_neighbor(&mut self, peer: NodeId) {
+        if peer != self.id && !self.neighbors.contains(&peer) {
+            self.neighbors.push(peer);
+            self.neighbors.sort_unstable();
+        }
+    }
+
+    /// Remove `peer` from the neighbor list.
+    pub fn remove_neighbor(&mut self, peer: NodeId) {
+        self.neighbors.retain(|&n| n != peer);
+    }
+
+    /// Declare `peer` dead: drop the link and queue a peer-down
+    /// notification for the next [`Transport::take_peer_downs`]. This is
+    /// the in-memory analogue of the TCP liveness timeout firing.
+    pub fn note_peer_down(&mut self, peer: NodeId) {
+        self.remove_neighbor(peer);
+        if !self.pending_downs.contains(&peer) {
+            self.pending_downs.push(peer);
+        }
+    }
 }
 
 impl Transport for MemoryEndpoint {
@@ -90,9 +120,20 @@ impl Transport for MemoryEndpoint {
         // messages nobody will read.
         self.peers.write()[id] = None;
     }
+
+    fn take_peer_downs(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.pending_downs)
+    }
 }
 
-/// Factory for a whole in-memory network.
+/// Factory and churn controller for a whole in-memory network.
+///
+/// [`InMemoryNetwork::build`] is the classic stateless entry point;
+/// [`InMemoryNetwork::create`] additionally returns the network handle,
+/// which can [`kill`](InMemoryNetwork::kill) a node (unregister its
+/// sender so peers get [`NetError::UnknownPeer`], like a crashed
+/// process) and [`revive`](InMemoryNetwork::revive) it with a fresh
+/// inbox — the substrate of the churn experiments.
 ///
 /// ```
 /// use p2p::{InMemoryNetwork, Message, Topology, Transport};
@@ -102,12 +143,15 @@ impl Transport for MemoryEndpoint {
 /// assert_eq!(sent, 3); // hypercube degree at n = 8
 /// assert_eq!(stats.snapshot().0, 3);
 /// ```
-pub struct InMemoryNetwork;
+pub struct InMemoryNetwork {
+    peers: Arc<RwLock<Vec<Option<Sender<Message>>>>>,
+    stats: Arc<NetStats>,
+}
 
 impl InMemoryNetwork {
-    /// Build an `n`-node network with the given topology, returning one
-    /// endpoint per node (move each onto its own thread).
-    pub fn build(n: usize, topology: Topology) -> (Vec<MemoryEndpoint>, Arc<NetStats>) {
+    /// Build an `n`-node network with the given topology, returning the
+    /// churn-capable network handle plus one endpoint per node.
+    pub fn create(n: usize, topology: Topology) -> (Self, Vec<MemoryEndpoint>) {
         let stats = Arc::new(NetStats::default());
         let mut senders: Vec<Option<Sender<Message>>> = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(n);
@@ -126,9 +170,46 @@ impl InMemoryNetwork {
                 inbox,
                 peers: Arc::clone(&peers),
                 stats: Arc::clone(&stats),
+                pending_downs: Vec::new(),
             })
             .collect();
-        (endpoints, stats)
+        (InMemoryNetwork { peers, stats }, endpoints)
+    }
+
+    /// Build an `n`-node network with the given topology, returning one
+    /// endpoint per node (move each onto its own thread).
+    pub fn build(n: usize, topology: Topology) -> (Vec<MemoryEndpoint>, Arc<NetStats>) {
+        let (net, endpoints) = Self::create(n, topology);
+        (endpoints, net.stats)
+    }
+
+    /// The shared message counters.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Crash node `id`: unregister its sender so every subsequent send
+    /// to it fails with [`NetError::UnknownPeer`]. Unlike
+    /// [`Transport::leave`] no notice is sent — peers only learn of the
+    /// death through failure detection (crash semantics).
+    pub fn kill(&self, id: NodeId) {
+        self.peers.write()[id] = None;
+    }
+
+    /// Bring node `id` back with a fresh (empty) inbox and the given
+    /// neighbor list; peers can send to it again immediately. The
+    /// returned endpoint replaces the one the killed node held.
+    pub fn revive(&self, id: NodeId, neighbors: Vec<NodeId>) -> MemoryEndpoint {
+        let (tx, rx) = unbounded();
+        self.peers.write()[id] = Some(tx);
+        MemoryEndpoint {
+            id,
+            neighbors,
+            inbox: rx,
+            peers: Arc::clone(&self.peers),
+            stats: Arc::clone(&self.stats),
+            pending_downs: Vec::new(),
+        }
     }
 }
 
@@ -210,5 +291,51 @@ mod tests {
     fn endpoints_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<MemoryEndpoint>();
+    }
+
+    #[test]
+    fn kill_fails_sends_without_notice() {
+        let (net, mut eps) = InMemoryNetwork::create(4, Topology::Ring);
+        net.kill(1);
+        let err = eps[0].send(1, Message::Leave { from: 0 }).unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer(1)));
+        // Crash semantics: no Leave or any other notice was delivered.
+        assert!(eps[0].drain().is_empty());
+        assert!(eps[2].drain().is_empty());
+    }
+
+    #[test]
+    fn revive_restores_delivery_with_fresh_inbox() {
+        let (net, mut eps) = InMemoryNetwork::create(4, Topology::Ring);
+        eps[0]
+            .send(1, Message::OptimumFound { from: 0, length: 1 })
+            .unwrap();
+        net.kill(1);
+        let mut revived = net.revive(1, vec![0, 2]);
+        // The pre-death message died with the old inbox.
+        assert!(revived.try_recv().is_none());
+        assert_eq!(revived.neighbors(), vec![0, 2]);
+        eps[0]
+            .send(1, Message::OptimumFound { from: 0, length: 2 })
+            .unwrap();
+        assert_eq!(
+            revived.try_recv(),
+            Some(Message::OptimumFound { from: 0, length: 2 })
+        );
+    }
+
+    #[test]
+    fn note_peer_down_rewires_and_reports_once() {
+        let (_net, mut eps) = InMemoryNetwork::create(4, Topology::Ring);
+        let mut e0 = eps.remove(0);
+        assert_eq!(e0.neighbors(), vec![3, 1]);
+        e0.note_peer_down(1);
+        e0.note_peer_down(1); // duplicate reports collapse
+        assert_eq!(e0.neighbors(), vec![3]);
+        assert_eq!(e0.take_peer_downs(), vec![1]);
+        assert!(e0.take_peer_downs().is_empty());
+        e0.add_neighbor(2);
+        e0.add_neighbor(2); // idempotent
+        assert_eq!(e0.neighbors(), vec![2, 3]);
     }
 }

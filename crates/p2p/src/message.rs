@@ -41,6 +41,42 @@ pub enum Message {
         /// Departing node.
         from: NodeId,
     },
+    /// Liveness probe: "are you still there?". The TCP transport
+    /// answers these itself (with [`Message::Pong`]) and never
+    /// surfaces them to the node loop; over in-memory transports the
+    /// node driver answers.
+    Ping {
+        /// Probing node.
+        from: NodeId,
+    },
+    /// Liveness probe answer. Its only effect is refreshing the
+    /// sender's last-seen clock on the receiving endpoint.
+    Pong {
+        /// Answering node.
+        from: NodeId,
+    },
+    /// A rejoining node asking its neighborhood for the current best
+    /// tour, so it can resume from population state instead of a cold
+    /// construction (state resync; see DESIGN.md "Failure model").
+    BestRequest {
+        /// Rejoining node.
+        from: NodeId,
+    },
+    /// Answer to [`Message::BestRequest`]: the responder's current
+    /// best tour. Validated by the receiver exactly like
+    /// [`Message::TourFound`] (city count, permutation, recomputed
+    /// length) before adoption.
+    BestReply {
+        /// Responding node.
+        from: NodeId,
+        /// Broadcast id of the carried tour (same scheme as
+        /// `TourFound`, so resyncs are traceable in the event logs).
+        id: u64,
+        /// Tour length as recomputed by the responder.
+        length: i64,
+        /// Visiting order.
+        order: Vec<u32>,
+    },
 }
 
 /// Compose a per-broadcast tour id from the originating node and its
@@ -57,7 +93,11 @@ impl Message {
         match *self {
             Message::TourFound { from, .. }
             | Message::OptimumFound { from, .. }
-            | Message::Leave { from } => from,
+            | Message::Leave { from }
+            | Message::Ping { from }
+            | Message::Pong { from }
+            | Message::BestRequest { from }
+            | Message::BestReply { from, .. } => from,
         }
     }
 
@@ -65,9 +105,12 @@ impl Message {
     /// experiment to report communication volume).
     pub fn wire_size(&self) -> usize {
         match self {
-            Message::TourFound { order, .. } => 1 + 8 + 8 + 8 + 4 + 4 * order.len(),
+            Message::TourFound { order, .. } | Message::BestReply { order, .. } => {
+                1 + 8 + 8 + 8 + 4 + 4 * order.len()
+            }
             Message::OptimumFound { .. } => 1 + 8 + 8,
-            Message::Leave { .. } => 1 + 8,
+            Message::Leave { .. } | Message::Ping { .. } | Message::Pong { .. } => 1 + 8,
+            Message::BestRequest { .. } => 1 + 8,
         }
     }
 }
@@ -93,6 +136,42 @@ mod tests {
             .from(),
             2
         );
+    }
+
+    #[test]
+    fn from_extracts_sender_liveness_and_resync() {
+        assert_eq!(Message::Ping { from: 4 }.from(), 4);
+        assert_eq!(Message::Pong { from: 5 }.from(), 5);
+        assert_eq!(Message::BestRequest { from: 6 }.from(), 6);
+        assert_eq!(
+            Message::BestReply {
+                from: 1,
+                id: broadcast_id(1, 9),
+                length: 77,
+                order: vec![0, 1, 2]
+            }
+            .from(),
+            1
+        );
+    }
+
+    #[test]
+    fn best_reply_wire_size_matches_tour_found() {
+        let order: Vec<u32> = (0..55).collect();
+        let a = Message::TourFound {
+            from: 0,
+            id: 0,
+            length: 1,
+            order: order.clone(),
+        };
+        let b = Message::BestReply {
+            from: 0,
+            id: 0,
+            length: 1,
+            order,
+        };
+        assert_eq!(a.wire_size(), b.wire_size());
+        assert_eq!(Message::Ping { from: 0 }.wire_size(), 9);
     }
 
     #[test]

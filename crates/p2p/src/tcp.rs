@@ -26,19 +26,24 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use obs_api::{Counter, Gauge, Obs, Value};
 use parking_lot::{Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use crate::codec::{read_frame, write_frame};
 use crate::message::{Message, NodeId};
 use crate::transport::Transport;
 use crate::NetError;
+
+/// Callback invoked (outside all locks) whenever a peer goes down.
+type DownHook = Box<dyn Fn(NodeId) + Send>;
 
 /// Timeouts and retry policy of a [`TcpEndpoint`].
 #[derive(Debug, Clone)]
@@ -59,6 +64,18 @@ pub struct TcpConfig {
     /// Per-peer outbound queue capacity; a full queue makes `send`
     /// return [`NetError::Backpressure`] instead of blocking.
     pub outbound_queue: usize,
+    /// Liveness timeout: a peer from which no frame (of any kind) has
+    /// arrived for this long is declared down — the link is closed,
+    /// `tcp.peer_down` is emitted, and the death is surfaced through
+    /// [`crate::Transport::take_peer_downs`]. `None` (the default)
+    /// disables the failure detector entirely: no prober thread is
+    /// spawned and behavior is identical to pre-liveness builds.
+    ///
+    /// When enabled, a prober thread sends [`Message::Ping`] probes at
+    /// a jittered interval of ¼–½ the timeout, so idle-but-responsive
+    /// peers refresh their clocks (pongs are answered at the reader
+    /// level and never reach the application inbox).
+    pub liveness_timeout: Option<Duration>,
 }
 
 impl Default for TcpConfig {
@@ -71,6 +88,7 @@ impl Default for TcpConfig {
             backoff_base: Duration::from_millis(50),
             backoff_max: Duration::from_secs(1),
             outbound_queue: 256,
+            liveness_timeout: None,
         }
     }
 }
@@ -88,24 +106,48 @@ impl TcpConfig {
             ..Default::default()
         }
     }
+
+    /// Enable the failure detector with the given timeout.
+    pub fn with_liveness(mut self, timeout: Duration) -> Self {
+        self.liveness_timeout = Some(timeout);
+        self
+    }
 }
 
 /// A live peer link: the queue feeding its writer thread and the
-/// socket handle used to force-close the link.
+/// socket handle used to force-close the link. `gen` identifies this
+/// particular link: when a link is replaced (e.g. a repair re-dial),
+/// the old link's reader/writer threads die with a stale generation
+/// and must not tear down the replacement.
 struct Peer {
     tx: Sender<Message>,
     stream: TcpStream,
     writer: JoinHandle<()>,
+    gen: u64,
 }
 
 /// Shared mutable state of one TCP endpoint.
 struct Shared {
+    /// This node's id. Atomic because the hub assigns the real id
+    /// after bind ([`TcpEndpoint::set_id`]) while the prober and
+    /// reader threads are already running.
+    id: AtomicUsize,
     /// Live peer links, keyed by peer id.
     peers: Mutex<HashMap<NodeId, Peer>>,
     /// Known neighbor ids (order = connection order).
     neighbors: RwLock<Vec<NodeId>>,
-    /// Set on shutdown; accept, handshake, reader, and writer threads
-    /// exit.
+    /// Per-peer last-seen clock, refreshed on every inbound frame.
+    last_seen: Mutex<HashMap<NodeId, Instant>>,
+    /// Peers declared down since the last `take_peer_downs` drain.
+    peer_downs: Mutex<Vec<NodeId>>,
+    /// Monotonic link-generation counter (see [`Peer::gen`]).
+    link_gen: AtomicU64,
+    /// Optional callback invoked (outside all locks) whenever a peer
+    /// goes down — the hub lifecycle client hangs off this to report
+    /// deaths and fetch repair assignments.
+    down_hook: Mutex<Option<DownHook>>,
+    /// Set on shutdown; accept, handshake, prober, reader, and writer
+    /// threads exit.
     shutdown: AtomicBool,
     inbox_tx: Sender<Message>,
     /// Reader threads, joined on shutdown.
@@ -156,6 +198,39 @@ pub struct TcpEndpoint {
     inbox_rx: Receiver<Message>,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    probe_thread: Option<JoinHandle<()>>,
+}
+
+/// A cloneable control handle onto a live [`TcpEndpoint`]: lets
+/// auxiliary threads (e.g. the hub lifecycle client applying repair
+/// assignments) rewire peers while the endpoint itself is owned by the
+/// node loop.
+#[derive(Clone)]
+pub struct TcpHandle {
+    shared: Arc<Shared>,
+}
+
+impl TcpHandle {
+    /// The endpoint's current node id.
+    pub fn node_id(&self) -> NodeId {
+        self.shared.id.load(Ordering::Relaxed)
+    }
+
+    /// Current neighbor ids.
+    pub fn neighbors(&self) -> Vec<NodeId> {
+        self.shared.neighbors.read().clone()
+    }
+
+    /// Open (or replace) a link to a peer, with the endpoint's retry
+    /// policy.
+    pub fn connect_to(&self, peer: NodeId, addr: SocketAddr) -> Result<(), NetError> {
+        connect_peer(&self.shared, peer, addr)
+    }
+
+    /// Force-close the link to a peer (counts as a peer death).
+    pub fn disconnect(&self, peer: NodeId) {
+        drop_peer(&self.shared, peer);
+    }
 }
 
 impl TcpEndpoint {
@@ -184,8 +259,13 @@ impl TcpEndpoint {
         let (inbox_tx, inbox_rx) = unbounded();
         let probes = TcpProbes::resolve(&obs);
         let shared = Arc::new(Shared {
+            id: AtomicUsize::new(id),
             peers: Mutex::new(HashMap::new()),
             neighbors: RwLock::new(Vec::new()),
+            last_seen: Mutex::new(HashMap::new()),
+            peer_downs: Mutex::new(Vec::new()),
+            link_gen: AtomicU64::new(0),
+            down_hook: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             inbox_tx,
             readers: Mutex::new(Vec::new()),
@@ -199,12 +279,20 @@ impl TcpEndpoint {
             .name(format!("p2p-accept-{id}"))
             .spawn(move || accept_loop(listener, accept_shared))
             .expect("spawn accept thread");
+        let probe_thread = shared.cfg.liveness_timeout.map(|timeout| {
+            let probe_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("p2p-probe-{id}"))
+                .spawn(move || probe_loop(probe_shared, timeout))
+                .expect("spawn probe thread")
+        });
         Ok(TcpEndpoint {
             id,
             listen_addr,
             inbox_rx,
             shared,
             accept_thread: Some(accept_thread),
+            probe_thread,
         })
     }
 
@@ -219,32 +307,29 @@ impl TcpEndpoint {
     /// any [`TcpEndpoint::connect_to`]).
     pub fn set_id(&mut self, id: NodeId) {
         self.id = id;
+        self.shared.id.store(id, Ordering::Relaxed);
     }
 
     /// Open a link to a peer (the hub told us its id and address),
     /// retrying with exponential backoff on failure.
     pub fn connect_to(&self, peer: NodeId, addr: SocketAddr) -> Result<(), NetError> {
-        let cfg = &self.shared.cfg;
-        let mut backoff = cfg.backoff_base;
-        let mut last_err = NetError::Closed;
-        for attempt in 0..=cfg.connect_retries {
-            if attempt > 0 {
-                self.shared.probes.c_retries.incr();
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(cfg.backoff_max);
-            }
-            if self.shared.shutdown.load(Ordering::Acquire) {
-                return Err(NetError::Closed);
-            }
-            match dial(self.id, addr, cfg) {
-                Ok(stream) => {
-                    register_peer(&self.shared, peer, stream);
-                    return Ok(());
-                }
-                Err(e) => last_err = e,
-            }
+        connect_peer(&self.shared, peer, addr)
+    }
+
+    /// A cloneable control handle for auxiliary threads (see
+    /// [`TcpHandle`]).
+    pub fn handle(&self) -> TcpHandle {
+        TcpHandle {
+            shared: Arc::clone(&self.shared),
         }
-        Err(last_err)
+    }
+
+    /// Install a callback invoked whenever a peer is declared down
+    /// (liveness timeout, connection loss, or explicit disconnect).
+    /// Called outside the endpoint's locks; replaces any previous
+    /// hook.
+    pub fn set_peer_down_hook(&self, hook: impl Fn(NodeId) + Send + 'static) {
+        *self.shared.down_hook.lock() = Some(Box::new(hook));
     }
 
     /// Stop all threads and drop connections. Bounded even with
@@ -255,6 +340,9 @@ impl TcpEndpoint {
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(500));
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.probe_thread.take() {
             let _ = h.join();
         }
         // Close every socket first (unblocks reads and stalled writes),
@@ -280,6 +368,34 @@ impl Drop for TcpEndpoint {
     }
 }
 
+/// Open a link to `peer` with the endpoint's retry/backoff policy and
+/// register it. Shared by [`TcpEndpoint::connect_to`] and
+/// [`TcpHandle::connect_to`].
+fn connect_peer(shared: &Arc<Shared>, peer: NodeId, addr: SocketAddr) -> Result<(), NetError> {
+    let cfg = &shared.cfg;
+    let id = shared.id.load(Ordering::Relaxed);
+    let mut backoff = cfg.backoff_base;
+    let mut last_err = NetError::Closed;
+    for attempt in 0..=cfg.connect_retries {
+        if attempt > 0 {
+            shared.probes.c_retries.incr();
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(cfg.backoff_max);
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        match dial(id, addr, cfg) {
+            Ok(stream) => {
+                register_peer(shared, peer, stream);
+                return Ok(());
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
 /// Establish one outbound connection and run the id handshake, both
 /// under timeouts.
 fn dial(id: NodeId, addr: SocketAddr, cfg: &TcpConfig) -> Result<TcpStream, NetError> {
@@ -297,6 +413,7 @@ fn dial(id: NodeId, addr: SocketAddr, cfg: &TcpConfig) -> Result<TcpStream, NetE
 /// queue) and reader threads, add to the neighbor list if new. An
 /// existing link to the same peer is force-closed and replaced.
 fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
+    let gen = shared.link_gen.fetch_add(1, Ordering::Relaxed);
     let read_half = stream.try_clone().expect("clone tcp stream");
     let write_half = stream.try_clone().expect("clone tcp stream");
     write_half
@@ -306,7 +423,7 @@ fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
     let writer_shared = Arc::clone(shared);
     let writer = std::thread::Builder::new()
         .name(format!("p2p-write-{peer}"))
-        .spawn(move || writer_loop(write_half, rx, peer, writer_shared))
+        .spawn(move || writer_loop(write_half, rx, peer, gen, writer_shared))
         .expect("spawn writer thread");
     if let Some(old) = shared.peers.lock().insert(
         peer,
@@ -314,6 +431,7 @@ fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
             tx,
             stream,
             writer,
+            gen,
         },
     ) {
         let _ = old.stream.shutdown(Shutdown::Both);
@@ -324,10 +442,11 @@ fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
             nb.push(peer);
         }
     }
+    shared.last_seen.lock().insert(peer, Instant::now());
     let reader_shared = Arc::clone(shared);
     let reader = std::thread::Builder::new()
         .name(format!("p2p-read-{peer}"))
-        .spawn(move || reader_loop(read_half, peer, reader_shared))
+        .spawn(move || reader_loop(read_half, peer, gen, reader_shared))
         .expect("spawn reader thread");
     shared.readers.lock().push(reader);
     shared
@@ -335,17 +454,88 @@ fn register_peer(shared: &Arc<Shared>, peer: NodeId, stream: TcpStream) {
         .event("tcp.peer_up", &[("peer", Value::U(peer as u64))]);
 }
 
-/// Forget a peer (connection error or departure). The socket is
-/// closed, which terminates its reader and writer threads.
+/// Forget a peer (liveness timeout, connection error, or departure).
+/// The socket is closed, which terminates its reader and writer
+/// threads; the death is queued for [`Transport::take_peer_downs`] and
+/// the down hook is invoked — both only on the first drop of a link,
+/// so concurrent detection paths (prober, reader, writer) report each
+/// death once.
 fn drop_peer(shared: &Shared, peer: NodeId) {
     let known = shared.peers.lock().remove(&peer).map(|p| {
         let _ = p.stream.shutdown(Shutdown::Both);
     });
     shared.neighbors.write().retain(|&n| n != peer);
+    shared.last_seen.lock().remove(&peer);
     if known.is_some() {
+        shared.peer_downs.lock().push(peer);
         shared
             .obs
             .event("tcp.peer_down", &[("peer", Value::U(peer as u64))]);
+        // Take the hook out while calling it so a hook that itself
+        // drops a peer (e.g. a repair that replaces a link) cannot
+        // deadlock on the hook lock.
+        let hook = shared.down_hook.lock().take();
+        if let Some(h) = hook {
+            h(peer);
+            let mut slot = shared.down_hook.lock();
+            if slot.is_none() {
+                *slot = Some(h);
+            }
+        }
+    }
+}
+
+/// Like [`drop_peer`], but only if the current link to `peer` still
+/// has generation `gen` — the reader/writer threads of a replaced
+/// link must not tear down the replacement.
+fn drop_peer_if(shared: &Shared, peer: NodeId, gen: u64) {
+    {
+        let peers = shared.peers.lock();
+        if peers.get(&peer).map(|p| p.gen) != Some(gen) {
+            return;
+        }
+    }
+    drop_peer(shared, peer);
+}
+
+/// Failure-detector thread: probes every peer at a jittered interval
+/// (¼–½ of `timeout`) and declares peers silent past `timeout` down.
+fn probe_loop(shared: Arc<Shared>, timeout: Duration) {
+    let seed = shared.id.load(Ordering::Relaxed) as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    loop {
+        let base = (timeout / 4).max(Duration::from_millis(5));
+        let jitter = rng.gen_range(0..base.as_millis().max(1) as u64);
+        let tick = base + Duration::from_millis(jitter);
+        let end = Instant::now() + tick;
+        while Instant::now() < end {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let self_id = shared.id.load(Ordering::Relaxed);
+        let peers: Vec<(NodeId, Sender<Message>)> = shared
+            .peers
+            .lock()
+            .iter()
+            .map(|(&p, peer)| (p, peer.tx.clone()))
+            .collect();
+        let now = Instant::now();
+        for (p, tx) in peers {
+            let stale = shared
+                .last_seen
+                .lock()
+                .get(&p)
+                .is_none_or(|t| now.duration_since(*t) > timeout);
+            if stale {
+                drop_peer(&shared, p);
+            } else if tx.try_send(Message::Ping { from: self_id }).is_ok() {
+                shared.probes.g_queue.add(1);
+            }
+            // A full queue means the peer is stalled; skip the probe —
+            // the silence will trip the timeout by itself.
+        }
     }
 }
 
@@ -399,7 +589,13 @@ fn handshake_incoming(mut stream: TcpStream, shared: Arc<Shared>) {
 /// Drain one peer's outbound queue onto its socket. Exits when the
 /// queue disconnects (endpoint shutdown or peer dropped) or a write
 /// fails (stall past the write timeout, or connection loss).
-fn writer_loop(mut stream: TcpStream, rx: Receiver<Message>, peer: NodeId, shared: Arc<Shared>) {
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: Receiver<Message>,
+    peer: NodeId,
+    gen: u64,
+    shared: Arc<Shared>,
+) {
     while let Ok(msg) = rx.recv() {
         shared.probes.g_queue.add(-1);
         if shared.shutdown.load(Ordering::Acquire) {
@@ -407,7 +603,7 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<Message>, peer: NodeId, share
         }
         let frame_bytes = (msg.wire_size() + 4) as u64;
         if write_frame(&mut stream, &msg).is_err() {
-            drop_peer(&shared, peer);
+            drop_peer_if(&shared, peer, gen);
             break;
         }
         shared.probes.c_bytes_out.add(frame_bytes);
@@ -415,7 +611,7 @@ fn writer_loop(mut stream: TcpStream, rx: Receiver<Message>, peer: NodeId, share
     }
 }
 
-fn reader_loop(mut stream: TcpStream, peer: NodeId, shared: Arc<Shared>) {
+fn reader_loop(mut stream: TcpStream, peer: NodeId, gen: u64, shared: Arc<Shared>) {
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
@@ -424,18 +620,38 @@ fn reader_loop(mut stream: TcpStream, peer: NodeId, shared: Arc<Shared>) {
             Ok(msg) => {
                 shared.probes.c_bytes_in.add((msg.wire_size() + 4) as u64);
                 shared.probes.c_msgs_in.incr();
-                let leaving = matches!(msg, Message::Leave { .. });
-                if shared.inbox_tx.send(msg).is_err() {
-                    break;
-                }
-                if leaving {
-                    drop_peer(&shared, peer);
-                    break;
+                // Any frame proves the peer alive.
+                shared.last_seen.lock().insert(peer, Instant::now());
+                match msg {
+                    // Liveness traffic is handled here at the wire
+                    // level and never reaches the application inbox,
+                    // so enabling the detector cannot change what the
+                    // node loop observes.
+                    Message::Ping { .. } => {
+                        let self_id = shared.id.load(Ordering::Relaxed);
+                        let tx = shared.peers.lock().get(&peer).map(|p| p.tx.clone());
+                        if let Some(tx) = tx {
+                            if tx.try_send(Message::Pong { from: self_id }).is_ok() {
+                                shared.probes.g_queue.add(1);
+                            }
+                        }
+                    }
+                    Message::Pong { .. } => {}
+                    other => {
+                        let leaving = matches!(other, Message::Leave { .. });
+                        if shared.inbox_tx.send(other).is_err() {
+                            break;
+                        }
+                        if leaving {
+                            drop_peer_if(&shared, peer, gen);
+                            break;
+                        }
+                    }
                 }
             }
             Err(_) => {
                 // Connection dropped or corrupt stream: forget the peer.
-                drop_peer(&shared, peer);
+                drop_peer_if(&shared, peer, gen);
                 break;
             }
         }
@@ -479,29 +695,35 @@ impl Transport for TcpEndpoint {
     fn try_recv(&mut self) -> Option<Message> {
         self.inbox_rx.try_recv().ok()
     }
+
+    fn take_peer_downs(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut *self.shared.peer_downs.lock())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::wait_until;
     use std::time::{Duration, Instant};
 
     fn recv_with_timeout(ep: &mut TcpEndpoint, millis: u64) -> Option<Message> {
-        let deadline = Instant::now() + Duration::from_millis(millis);
-        while Instant::now() < deadline {
-            if let Some(m) = ep.try_recv() {
-                return Some(m);
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        None
+        let mut got = None;
+        wait_until(
+            || {
+                got = ep.try_recv();
+                got.is_some()
+            },
+            Duration::from_millis(millis),
+        );
+        got
     }
 
     fn wait_for_neighbors(ep: &TcpEndpoint, want: usize, millis: u64) {
-        let deadline = Instant::now() + Duration::from_millis(millis);
-        while ep.neighbors().len() < want && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        wait_until(
+            || ep.neighbors().len() >= want,
+            Duration::from_millis(millis),
+        );
     }
 
     #[test]
@@ -554,12 +776,10 @@ mod tests {
 
         // The writer thread records bytes after the write completes;
         // give it a moment.
-        let deadline = Instant::now() + Duration::from_secs(2);
-        while obs_a.snapshot().counter("tcp.bytes_out") < frame_bytes
-            && Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        wait_until(
+            || obs_a.snapshot().counter("tcp.bytes_out") >= frame_bytes,
+            Duration::from_secs(2),
+        );
         let sa = obs_a.snapshot();
         let sb = obs_b.snapshot();
         assert_eq!(sa.counter("tcp.bytes_out"), frame_bytes);
@@ -582,11 +802,10 @@ mod tests {
         a.leave();
         let got = recv_with_timeout(&mut b, 2000);
         assert_eq!(got, Some(Message::Leave { from: 0 }));
-        let deadline = Instant::now() + Duration::from_secs(2);
-        while !b.neighbors().is_empty() && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        assert!(b.neighbors().is_empty());
+        assert!(wait_until(
+            || b.neighbors().is_empty(),
+            Duration::from_secs(2)
+        ));
     }
 
     #[test]
@@ -705,5 +924,113 @@ mod tests {
         a.shutdown();
         a.shutdown();
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    /// Half-open connection: the peer's socket stays open but it never
+    /// reads or writes. The liveness timeout must declare it down,
+    /// emit `tcp.peer_down`, surface it via `take_peer_downs`, and the
+    /// outbound queue depth must stay bounded the whole time.
+    #[test]
+    fn half_open_peer_trips_liveness_timeout() {
+        let mut cfg = TcpConfig::fast_fail().with_liveness(Duration::from_millis(400));
+        cfg.outbound_queue = 8;
+        let queue_bound = cfg.outbound_queue as i64;
+        let obs = Obs::for_node(0);
+        let mut a = TcpEndpoint::bind_with_obs(0, "127.0.0.1:0", cfg, obs.clone()).unwrap();
+
+        // The frozen peer: accepts, then neither reads nor writes.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let frozen_addr = listener.local_addr().unwrap();
+        let frozen = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(4));
+            drop(s);
+        });
+        a.connect_to(2, frozen_addr).unwrap();
+        assert_eq!(a.neighbors(), vec![2]);
+
+        // Keep some application traffic flowing at the frozen peer so
+        // the queue has every chance to grow while we wait.
+        let big = Message::TourFound {
+            from: 0,
+            id: 0,
+            length: 1,
+            order: (0..50_000).collect(),
+        };
+        let died = wait_until(
+            || {
+                let _ = a.send(2, big.clone());
+                let depth = obs.snapshot().gauges.get("tcp.queue_depth").copied();
+                assert!(
+                    depth.unwrap_or(0) <= queue_bound,
+                    "queue depth {depth:?} exceeded bound {queue_bound}"
+                );
+                a.neighbors().is_empty()
+            },
+            Duration::from_secs(5),
+        );
+        assert!(died, "frozen peer was never declared down");
+        assert_eq!(a.take_peer_downs(), vec![2]);
+        assert!(a.take_peer_downs().is_empty(), "downs reported twice");
+        if obs_api::ENABLED {
+            assert!(obs.events().iter().any(|e| e.kind == "tcp.peer_down"));
+        }
+        let _ = frozen.join();
+    }
+
+    /// Idle but responsive peers must NOT be declared down: ping/pong
+    /// keeps the last-seen clocks fresh without any application
+    /// traffic, and none of it reaches the inbox.
+    #[test]
+    fn idle_responsive_peers_survive_liveness_timeout() {
+        let cfg = TcpConfig::fast_fail().with_liveness(Duration::from_millis(300));
+        let mut a = TcpEndpoint::bind_with(0, "127.0.0.1:0", cfg.clone()).unwrap();
+        let mut b = TcpEndpoint::bind_with(1, "127.0.0.1:0", cfg).unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        wait_for_neighbors(&b, 1, 2000);
+
+        // Sit idle for several timeouts.
+        std::thread::sleep(Duration::from_millis(1200));
+        assert_eq!(a.neighbors(), vec![1]);
+        assert_eq!(b.neighbors(), vec![0]);
+        assert!(a.take_peer_downs().is_empty());
+        assert!(b.take_peer_downs().is_empty());
+        // The liveness chatter stayed below the application surface.
+        assert!(a.try_recv().is_none());
+        assert!(b.try_recv().is_none());
+
+        // The link still works for real traffic.
+        a.send(1, Message::OptimumFound { from: 0, length: 5 })
+            .unwrap();
+        assert_eq!(
+            recv_with_timeout(&mut b, 2000),
+            Some(Message::OptimumFound { from: 0, length: 5 })
+        );
+    }
+
+    /// The peer-down hook fires once per death, outside the locks.
+    #[test]
+    fn peer_down_hook_fires_once() {
+        let cfg = TcpConfig::fast_fail().with_liveness(Duration::from_millis(300));
+        let mut a = TcpEndpoint::bind_with(0, "127.0.0.1:0", cfg).unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hook_hits = Arc::clone(&hits);
+        a.set_peer_down_hook(move |dead| {
+            assert_eq!(dead, 1);
+            hook_hits.fetch_add(1, Ordering::SeqCst);
+        });
+        let mut b = TcpEndpoint::bind_with(1, "127.0.0.1:0", TcpConfig::fast_fail()).unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        wait_for_neighbors(&b, 1, 2000);
+        b.shutdown();
+        assert!(wait_until(
+            || hits.load(Ordering::SeqCst) >= 1,
+            Duration::from_secs(5)
+        ));
+        // Reader error and liveness prober may race to detect the same
+        // death; the report must still be singular.
+        std::thread::sleep(Duration::from_millis(400));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(a.take_peer_downs(), vec![1]);
     }
 }

@@ -46,4 +46,12 @@ pub trait Transport: Send {
         let id = self.node_id();
         self.broadcast(Message::Leave { from: id });
     }
+
+    /// Drain peers this transport has declared dead since the last
+    /// call (liveness timeout, connection loss, or an explicit kill).
+    /// The default — for transports without failure detection — is
+    /// "nobody died".
+    fn take_peer_downs(&mut self) -> Vec<NodeId> {
+        Vec::new()
+    }
 }

@@ -1,0 +1,50 @@
+//! Small shared helpers.
+
+use std::time::{Duration, Instant};
+
+/// Poll `pred` until it returns true or `deadline` passes, sleeping
+/// between polls (no busy-wait). Returns whether the predicate held
+/// before the deadline.
+///
+/// This is the crate's standard way to wait for an asynchronous
+/// condition in tests (peer registration, counters catching up, queue
+/// drains) — prefer it over hand-rolled `while Instant::now() < …`
+/// spin loops.
+pub fn wait_until(mut pred: impl FnMut() -> bool, deadline: Duration) -> bool {
+    let end = Instant::now() + deadline;
+    loop {
+        if pred() {
+            return true;
+        }
+        if Instant::now() >= end {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_truth_returns_fast() {
+        let start = Instant::now();
+        assert!(wait_until(|| true, Duration::from_secs(5)));
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn eventual_truth_is_awaited() {
+        let start = Instant::now();
+        assert!(wait_until(
+            || start.elapsed() > Duration::from_millis(20),
+            Duration::from_secs(5)
+        ));
+    }
+
+    #[test]
+    fn deadline_expiry_returns_false() {
+        assert!(!wait_until(|| false, Duration::from_millis(30)));
+    }
+}

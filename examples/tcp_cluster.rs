@@ -25,17 +25,15 @@ fn main() {
 
     let endpoints = bootstrap_local(nodes, Topology::Hypercube).expect("bootstrap");
     // Wait briefly until every reverse edge registered.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
-    while std::time::Instant::now() < deadline {
-        if endpoints
-            .iter()
-            .enumerate()
-            .all(|(i, e)| e.neighbors().len() == Topology::Hypercube.neighbors(i, nodes).len())
-        {
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
+    dist_clk::p2p::wait_until(
+        || {
+            endpoints
+                .iter()
+                .enumerate()
+                .all(|(i, e)| e.neighbors().len() == Topology::Hypercube.neighbors(i, nodes).len())
+        },
+        std::time::Duration::from_secs(3),
+    );
     for (i, e) in endpoints.iter().enumerate() {
         println!("node {i} @ {} — neighbors {:?}", e.listen_addr(), e.neighbors());
     }
@@ -48,15 +46,14 @@ fn main() {
         seed: 2,
         ..Default::default()
     };
-    let results = run_over_transports(&inst, &neighbors, &cfg, endpoints);
+    let result = run_over_transports(&inst, &neighbors, &cfg, endpoints);
 
     println!("\nper-node results:");
-    for r in &results {
+    for r in &result.nodes {
         println!(
             "  node {}: best {} ({} CLK calls, {} broadcasts, {} received)",
             r.id, r.best_length, r.clk_calls, r.broadcasts, r.received
         );
     }
-    let best = results.iter().map(|r| r.best_length).min().unwrap();
-    println!("\nnetwork best: {best}");
+    println!("\nnetwork best: {}", result.best_length);
 }

@@ -111,17 +111,15 @@ fn tcp_cluster_end_to_end() {
     let nodes = 4;
     let endpoints = bootstrap_local(nodes, Topology::Hypercube).expect("bootstrap");
     // Wait for reverse edges.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-    while std::time::Instant::now() < deadline {
-        if endpoints
-            .iter()
-            .enumerate()
-            .all(|(i, e)| e.neighbors().len() >= Topology::Hypercube.neighbors(i, nodes).len())
-        {
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
+    dist_clk::p2p::wait_until(
+        || {
+            endpoints
+                .iter()
+                .enumerate()
+                .all(|(i, e)| e.neighbors().len() >= Topology::Hypercube.neighbors(i, nodes).len())
+        },
+        std::time::Duration::from_secs(5),
+    );
     let cfg = DistConfig {
         nodes,
         clk_kicks_per_call: 5,
@@ -129,11 +127,12 @@ fn tcp_cluster_end_to_end() {
         seed: 7,
         ..Default::default()
     };
-    let results = run_over_transports(&inst, &nl, &cfg, endpoints);
-    assert_eq!(results.len(), nodes);
-    for r in &results {
+    let result = run_over_transports(&inst, &nl, &cfg, endpoints);
+    assert_eq!(result.nodes.len(), nodes);
+    for r in &result.nodes {
         assert!(r.best_tour.is_valid());
         assert!(r.clk_calls >= 3);
+        assert!(!r.aborted);
     }
 }
 
