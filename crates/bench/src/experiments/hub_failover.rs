@@ -1,0 +1,151 @@
+//! **Hub-failover experiment** (extension beyond the paper) — cost of
+//! losing the lifecycle hub mid-run.
+//!
+//! The paper's hub exists only for bootstrap; our lifecycle extension
+//! made it a live service, and this PR made the role migratable
+//! (DESIGN.md §9 "hub migration"). For each seed a
+//! [`ChurnSchedule::seeded_hub_failover`] kills the hub, kills a
+//! second node so the *elected* successor must serve the DOWN, revives
+//! that node (the successor serves the REJOIN), and finally revives
+//! the old hub, which returns as a regular member behind the epoch
+//! fence. The same seed with zero churn is the quality baseline.
+//!
+//! Reported per seed: the consensus winner and epoch (must agree
+//! across every clean node), promotions and rejoins served, and the
+//! tour-quality gap vs the clean run. Expected shape: consensus on
+//! every seed, at least one served rejoin, and a small quality gap —
+//! hub failure costs the network a couple of members for a while, not
+//! its ability to cooperate.
+
+use distclk::{run_lockstep, run_lockstep_churn, ChurnSchedule, DistConfig};
+use lk::Budget;
+use obs_api::kinds;
+use p2p::Topology;
+use tsp_core::{generate, NeighborLists};
+
+use crate::experiments::common::mean;
+use crate::report::Report;
+use crate::testbed::Scale;
+
+pub fn run(scale: &Scale) -> Report {
+    run_mode(scale.size_factor < 1.0)
+}
+
+/// Run the hub-failover sweep. `smoke` keeps the instance and budgets
+/// CI-friendly; the full mode uses a paper-sized instance.
+pub fn run_mode(smoke: bool) -> Report {
+    let (cities, calls, seeds) = if smoke {
+        (200usize, 14u64, 5u64)
+    } else {
+        (1_000, 60, 10)
+    };
+    let nodes = 8usize;
+    let mut report = Report::new(
+        "hub-failover",
+        format!(
+            "Hub failover: election, epoch fencing, lifecycle service under a dead hub ({} mode)",
+            if smoke { "smoke" } else { "full" }
+        ),
+    );
+    report.para(&format!(
+        "Each seed crashes the lifecycle hub mid-run; the survivors \
+         elect the minimum alive id, the winner resumes DOWN/REJOIN \
+         service, and the old hub later returns as a regular member \
+         behind the epoch fence. All {nodes}-node runs use the \
+         deterministic lockstep driver, so every row is exactly \
+         reproducible.",
+    ));
+
+    let inst = generate::uniform(cities, 1_000_000.0, 37);
+    let nl = NeighborLists::build(&inst, 10);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut gaps = Vec::new();
+    let mut consensus_failures = 0u64;
+    for seed in 0..seeds {
+        let cfg = DistConfig {
+            nodes,
+            topology: Topology::Hypercube,
+            budget: Budget::kicks(calls),
+            clk_kicks_per_call: 3,
+            seed,
+            ..Default::default()
+        };
+        let schedule = ChurnSchedule::seeded_hub_failover(seed, nodes);
+        let churned = run_lockstep_churn(&inst, &nl, &cfg, &schedule);
+        let clean = run_lockstep(&inst, &nl, &cfg);
+
+        let consensus = churned.hub_consensus();
+        if consensus.is_none() {
+            consensus_failures += 1;
+        }
+        let (hub, epoch) = consensus.unwrap_or((None, 0));
+        let hub_str = hub.map_or("—".to_string(), |h| h.to_string());
+        let promotions = churned.metrics.counter(kinds::C_PROMOTIONS);
+        let rejoins_served = churned.metrics.counter(kinds::C_HUB_REJOINS_SERVED);
+        let gap = (churned.best_length - clean.best_length) as f64
+            / clean.best_length.max(1) as f64
+            * 100.0;
+        gaps.push(gap);
+        csv.push(format!(
+            "{seed},{hub_str},{epoch},{promotions},{rejoins_served},{},{},{:.3}",
+            churned.best_length, clean.best_length, gap
+        ));
+        rows.push(vec![
+            seed.to_string(),
+            hub_str,
+            epoch.to_string(),
+            promotions.to_string(),
+            rejoins_served.to_string(),
+            churned.best_length.to_string(),
+            clean.best_length.to_string(),
+            format!("{gap:+.2}%"),
+        ]);
+    }
+
+    report.table(
+        &[
+            "Seed",
+            "Hub",
+            "Epoch",
+            "Promotions",
+            "Rejoins served",
+            "Best (failover)",
+            "Best (clean)",
+            "Gap",
+        ],
+        &rows,
+    );
+    report.para(&format!(
+        "Hub consensus reached on {}/{seeds} seeds; mean quality gap of \
+         the failover runs vs their clean baselines: {:+.2}%.",
+        seeds - consensus_failures,
+        mean(&gaps)
+    ));
+    report.series(
+        "hub-failover",
+        "seed,hub,epoch,promotions,rejoins_served,best_failover,best_clean,gap_pct",
+        csv,
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_hub_failover_runs_and_renders() {
+        let report = run_mode(true);
+        assert!(report.markdown.contains("Hub failover"));
+        assert!(report.markdown.contains("Rejoins served"));
+        assert!(report.markdown.contains("consensus reached on 5/5 seeds"));
+        let (_, _, rows) = report
+            .csv
+            .iter()
+            .find(|(n, _, _)| n == "hub-failover")
+            .unwrap();
+        assert_eq!(rows.len(), 5, "one row per smoke seed");
+    }
+}

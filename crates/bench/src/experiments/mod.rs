@@ -6,6 +6,7 @@ pub mod common;
 pub mod faults;
 pub mod figure2;
 pub mod figure3;
+pub mod hub_failover;
 pub mod messages;
 pub mod perf;
 pub mod profile;
@@ -36,6 +37,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "ablation" => ablation::run(scale),
         "faults" => faults::run(scale),
         "churn" => churn::run(scale),
+        "hub-failover" => hub_failover::run(scale),
         "profile" => profile::run(scale),
         "perf" => perf::run(scale),
         _ => return None,
@@ -44,7 +46,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
 }
 
 /// All experiment ids in suggested execution order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "table3", "table4", "table5", "table1", "table2", "figure2", "figure3", "messages",
-    "variator", "ablation", "faults", "churn", "profile", "perf",
+    "variator", "ablation", "faults", "churn", "hub-failover", "profile", "perf",
 ];

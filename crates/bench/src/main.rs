@@ -10,7 +10,7 @@
 //! cargo run -p bench -- list
 //! ```
 
-use bench::experiments::{self, churn, perf, profile};
+use bench::experiments::{self, churn, hub_failover, perf, profile};
 use bench::testbed::Scale;
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
             println!("       bench profile [<tsplib-file>|<testbed-name>] [--full]");
             println!("       bench perf [--smoke]   # array vs two-level tour sweep");
             println!("       bench churn [--smoke]  # seeded kill/revive chaos sweep");
+            println!("       bench hub-failover [--smoke]  # hub death, election, epoch fencing");
         }
         "all" => {
             for id in experiments::ALL {
@@ -42,6 +43,10 @@ fn main() {
         "churn" => {
             // Seeded kill/revive chaos sweep; --smoke caps it for CI.
             churn::run_mode(smoke).write().expect("write report");
+        }
+        "hub-failover" => {
+            // Hub-death election sweep; --smoke caps it for CI.
+            hub_failover::run_mode(smoke).write().expect("write report");
         }
         "profile" => {
             let report = match positional.next() {

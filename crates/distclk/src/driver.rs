@@ -82,6 +82,21 @@ impl DistResult {
     pub fn total_broadcasts(&self) -> u64 {
         self.nodes.iter().map(|n| n.broadcasts).sum()
     }
+
+    /// The `(hub, epoch)` every cleanly-finished node agreed on, or
+    /// `None` if any two of them disagreed — the hub-failover
+    /// conformance suite asserts agreement after every schedule.
+    /// Aborted records (crashed incarnations) are excluded: a node
+    /// killed mid-election legitimately carries a stale view.
+    pub fn hub_consensus(&self) -> Option<(Option<p2p::NodeId>, u64)> {
+        let mut views = self
+            .nodes
+            .iter()
+            .filter(|n| !n.aborted)
+            .map(|n| (n.hub, n.hub_epoch));
+        let first = views.next()?;
+        views.all(|v| v == first).then_some(first)
+    }
 }
 
 /// Run the distributed algorithm with one OS thread per node over an

@@ -2,6 +2,7 @@
 
 use lk::{Budget, ChainedLkConfig, ClkEngine, Stopwatch, Trace};
 use obs_api::{Counter, Histogram, MetricsSnapshot, Obs, Value};
+use p2p::election::{LogEntry, Replica};
 use p2p::{broadcast_id, Message, NodeId, Topology, Transport};
 use tsp_core::{Instance, NeighborLists, Tour};
 
@@ -130,6 +131,11 @@ pub struct NodeResult {
     /// driver or its thread panicked. Aborted records are excluded from
     /// the aggregate best-tour selection.
     pub aborted: bool,
+    /// Who this node believed held the lifecycle-hub role when it
+    /// finished (node 0 at bootstrap; a survivor after an election).
+    pub hub: Option<NodeId>,
+    /// Epoch of the hub claim in force (0 = the bootstrap hub).
+    pub hub_epoch: u64,
 }
 
 impl NodeResult {
@@ -151,6 +157,8 @@ impl NodeResult {
             metrics: MetricsSnapshot::default(),
             obs_events: Vec::new(),
             aborted: true,
+            hub: None,
+            hub_epoch: 0,
         }
     }
 }
@@ -185,6 +193,12 @@ pub struct NodeDriver<'a, T: Transport> {
     /// Rounds left to wait for a `BestReply` before giving up on state
     /// resync; `0` means the node is not resyncing.
     resync_remaining: u32,
+    /// This node's replica of the membership log and election state
+    /// (see `p2p::election`): who is alive, who holds the hub role and
+    /// at which epoch. Inert in failure-free runs — it is built without
+    /// RNG and only peer-down notices or election messages touch it, so
+    /// clean runs stay bit-identical to pre-election builds.
+    lifecycle: Replica,
 
     trace: Trace,
     events: Vec<NodeEvent>,
@@ -334,6 +348,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             last_strength: 1,
             terminated: false,
             resync_remaining: 0,
+            lifecycle: Replica::bootstrap(cfg.topology, cfg.nodes),
             trace,
             events,
         }
@@ -375,6 +390,140 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
     /// Whether the node is still waiting for a resync reply.
     pub fn resyncing(&self) -> bool {
         self.resync_remaining > 0
+    }
+
+    /// Who this node currently believes holds the lifecycle-hub role.
+    pub fn hub(&self) -> Option<NodeId> {
+        self.lifecycle.hub()
+    }
+
+    /// Epoch of the hub claim this node currently honors.
+    pub fn hub_epoch(&self) -> u64 {
+        self.lifecycle.epoch()
+    }
+
+    /// This node's replica of the membership log (read-only).
+    pub fn lifecycle(&self) -> &Replica {
+        &self.lifecycle
+    }
+
+    /// Claim the lifecycle-hub role at `epoch` and announce it.
+    /// Called by [`NodeDriver::maybe_elect`] when this node wins an
+    /// election, and by the churn driver's orderly hub *migration*
+    /// (where the old hub is still alive and steps down on seeing the
+    /// newer epoch). A claim that does not beat the one in force — a
+    /// stale epoch — is a no-op.
+    pub fn promote(&mut self, epoch: u64) {
+        if !self.lifecycle.observe_claim(self.id, epoch) {
+            return;
+        }
+        self.obs.counter(obs_api::kinds::C_PROMOTIONS).incr();
+        self.obs
+            .event(obs_api::kinds::NODE_PROMOTE, &[("epoch", Value::U(epoch))]);
+        self.transport.broadcast(Message::HubClaim {
+            from: self.id,
+            epoch,
+        });
+    }
+
+    /// Run the deterministic election rule: if the believed hub is
+    /// dead in this replica's view and this node is the winner (lowest
+    /// alive id, tie-broken by join epoch), promote itself with the
+    /// next epoch. Every replica evaluates the same rule over the same
+    /// replicated log, so all nodes converge on the same winner.
+    fn maybe_elect(&mut self) {
+        if self.lifecycle.hub_alive() || self.lifecycle.winner() != Some(self.id) {
+            return;
+        }
+        let epoch = self.lifecycle.epoch() + 1;
+        self.promote(epoch);
+    }
+
+    /// Gossip fresh membership-log entries to every neighbor except
+    /// `except` (the peer they came from, if any).
+    fn gossip(&mut self, entries: Vec<LogEntry>, except: Option<NodeId>) {
+        let n_entries = entries.len();
+        let snapshot = Message::LogSnapshot {
+            from: self.id,
+            entries,
+        };
+        let mut sent = 0usize;
+        for nb in self.transport.neighbors() {
+            if Some(nb) != except && self.transport.send(nb, snapshot.clone()).is_ok() {
+                sent += 1;
+            }
+        }
+        if sent > 0 {
+            self.obs.event(
+                obs_api::kinds::NODE_GOSSIP,
+                &[
+                    ("entries", Value::U(n_entries as u64)),
+                    ("peers", Value::U(sent as u64)),
+                ],
+            );
+        }
+    }
+
+    /// Handle an incoming `HUB_CLAIM(claimer, epoch)`: accept-and-relay
+    /// or reject as stale (see `p2p::election` for the fencing rule).
+    fn observe_hub_claim(&mut self, claimer: NodeId, epoch: u64) {
+        let was_self_hub = self.lifecycle.hub() == Some(self.id);
+        if self.lifecycle.observe_claim(claimer, epoch) {
+            self.obs.event(
+                obs_api::kinds::NODE_HUB_CLAIM,
+                &[
+                    ("hub", Value::U(claimer as u64)),
+                    ("epoch", Value::U(epoch)),
+                ],
+            );
+            if was_self_hub && claimer != self.id {
+                // A newer claim fences this stale hub out: step down.
+                self.obs.counter(obs_api::kinds::C_STEP_DOWNS).incr();
+                self.obs.event(
+                    obs_api::kinds::NODE_STEP_DOWN,
+                    &[
+                        ("to", Value::U(claimer as u64)),
+                        ("epoch", Value::U(epoch)),
+                    ],
+                );
+            }
+            // Relay the accepted claim; the fencing rule rejects
+            // re-deliveries, which terminates the epidemic.
+            self.transport.broadcast(Message::HubClaim {
+                from: claimer,
+                epoch,
+            });
+        } else {
+            self.obs.counter(obs_api::kinds::C_STALE_CLAIMS).incr();
+            self.obs.event(
+                obs_api::kinds::NODE_STALE_CLAIM,
+                &[
+                    ("claimer", Value::U(claimer as u64)),
+                    ("epoch", Value::U(epoch)),
+                ],
+            );
+        }
+    }
+
+    /// Record that fresh log entries changed this replica. If this
+    /// node currently holds the hub role, a fresh REJOIN means it just
+    /// *served* that rejoin — its replicated state performed the
+    /// membership transition a central hub would have coordinated.
+    fn register_changed(&mut self, changed: &[LogEntry]) {
+        if self.lifecycle.hub() != Some(self.id) {
+            return;
+        }
+        for e in changed {
+            if let LogEntry::Rejoin { node, .. } = e {
+                self.obs
+                    .counter(obs_api::kinds::C_HUB_REJOINS_SERVED)
+                    .incr();
+                self.obs.event(
+                    obs_api::kinds::NODE_HUB_REJOIN_SERVED,
+                    &[("peer", Value::U(*node as u64))],
+                );
+            }
+        }
     }
 
     /// One CLK call: full LK optimization plus the engine's internal
@@ -604,6 +753,14 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         for dead in self.transport.take_peer_downs() {
             self.obs
                 .event("node.peer_down", &[("peer", Value::U(dead as u64))]);
+            // Record the locally observed death in the replicated
+            // membership log and gossip the fresh facts. This is how
+            // hub death is detected too: no hub delivers the DOWN —
+            // each survivor derives the clique repair itself.
+            let entries = self.lifecycle.note_down(dead);
+            if !entries.is_empty() {
+                self.gossip(entries, None);
+            }
         }
         let mut best_received: Option<(i64, Tour, NodeId, u64)> = None;
         for msg in self.transport.drain() {
@@ -668,9 +825,29 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                     let _ = self.transport.send(from, Message::Pong { from: self.id });
                 }
                 Message::Pong { .. } => {}
-                Message::BestRequest { from } => self.answer_best_request(from),
+                Message::BestRequest { from } => {
+                    // A BestRequest from a peer this replica believed
+                    // dead is the rejoin signal: record it, gossip it.
+                    let entries = self.lifecycle.note_rejoin(from);
+                    if !entries.is_empty() {
+                        self.register_changed(&entries);
+                        self.gossip(entries, Some(from));
+                    }
+                    self.answer_best_request(from);
+                }
+                Message::HubClaim { from, epoch } => self.observe_hub_claim(from, epoch),
+                Message::LogSnapshot { from, entries } => {
+                    let changed = self.lifecycle.apply(&entries);
+                    if !changed.is_empty() {
+                        self.register_changed(&changed);
+                        self.gossip(changed, Some(from));
+                    }
+                }
             }
         }
+        // With the inbox folded in, the replica's view is as fresh as
+        // it gets this round: run the election rule once.
+        self.maybe_elect();
         best_received
     }
 
@@ -699,6 +876,26 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                     ("tour_id", Value::U(tour_id)),
                     ("len", Value::I(self.best_len)),
                 ],
+            );
+        }
+        // Ship the full membership log and the hub claim in force
+        // alongside the tour, so the rejoiner's fresh (bootstrap)
+        // replica converges on the network's view — including any
+        // elections it slept through — in one round.
+        let _ = self.transport.send(
+            to,
+            Message::LogSnapshot {
+                from: self.id,
+                entries: self.lifecycle.log().entries().to_vec(),
+            },
+        );
+        if let Some(hub) = self.lifecycle.hub() {
+            let _ = self.transport.send(
+                to,
+                Message::HubClaim {
+                    from: hub,
+                    epoch: self.lifecycle.epoch(),
+                },
             );
         }
     }
@@ -891,6 +1088,8 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             metrics: self.obs.snapshot(),
             obs_events: self.obs.events(),
             aborted,
+            hub: self.lifecycle.hub(),
+            hub_epoch: self.lifecycle.epoch(),
         }
     }
 

@@ -162,7 +162,11 @@ fn empty_schedule_is_identical_to_run_lockstep() {
 
 /// ISSUE acceptance criterion: the churn-capable driver costs ≤ 2% over
 /// `run_lockstep` when no churn happens. Min-of-N with alternating
-/// order, same pattern as the lk obs-overhead bound.
+/// order, same pattern as the lk obs-overhead bound. An empty schedule
+/// short-circuits into `run_lockstep` itself, so this measures two
+/// calls of the same code and guards that fast path: the bound only
+/// fires again if someone routes zero-churn runs back through the
+/// churn loop.
 #[test]
 fn zero_churn_overhead_under_two_percent() {
     use std::time::{Duration, Instant};
@@ -181,28 +185,31 @@ fn zero_churn_overhead_under_two_percent() {
     run_lockstep(&inst, &nl, &cfg);
     run_lockstep_churn(&inst, &nl, &cfg, &empty);
 
-    let mut best_plain = Duration::MAX;
-    let mut best_churn = Duration::MAX;
-    for _ in 0..3 {
+    // Per-pair overhead ratios, then take the *minimum* over pairs:
+    // systematic overhead taxes every pair, while one-sided scheduler
+    // noise (the suite's other tests share this core) cannot survive
+    // the min unless it hits the same side of all five pairs.
+    let mut overhead = f64::MAX;
+    for _ in 0..5 {
         let t = Instant::now();
         run_lockstep(&inst, &nl, &cfg);
-        best_plain = best_plain.min(t.elapsed());
+        let plain = t.elapsed();
         let t = Instant::now();
         run_lockstep_churn(&inst, &nl, &cfg, &empty);
-        best_churn = best_churn.min(t.elapsed());
+        let churn = t.elapsed();
+        // Keep the workload long enough that 2% clears timer
+        // resolution; if this fires, raise the budget rather than
+        // loosening the bound.
+        assert!(
+            plain > Duration::from_millis(50),
+            "baseline too short to measure a 2% bound ({plain:?})"
+        );
+        let pair = (churn.as_secs_f64() - plain.as_secs_f64()) / plain.as_secs_f64();
+        overhead = overhead.min(pair);
     }
-    let plain = best_plain.as_secs_f64();
-    let churn = best_churn.as_secs_f64();
-    // Keep the workload long enough that 2% clears timer resolution;
-    // if this fires, raise the budget rather than loosening the bound.
-    assert!(
-        plain > 0.05,
-        "baseline too short to measure a 2% bound ({plain:.3}s)"
-    );
-    let overhead = (churn - plain) / plain;
     assert!(
         overhead <= 0.02,
-        "zero-churn overhead {:.2}% exceeds 2% (plain {plain:.3}s, churn {churn:.3}s)",
+        "zero-churn overhead {:.2}% exceeds 2% in every pair",
         overhead * 100.0
     );
 }

@@ -8,6 +8,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::election::LogEntry;
 use crate::message::Message;
 use crate::NetError;
 
@@ -18,6 +19,55 @@ const TAG_PING: u8 = 4;
 const TAG_PONG: u8 = 5;
 const TAG_BEST_REQUEST: u8 = 6;
 const TAG_BEST_REPLY: u8 = 7;
+const TAG_HUB_CLAIM: u8 = 8;
+const TAG_LOG_SNAPSHOT: u8 = 9;
+
+// Membership-log entry kinds (first byte of each 17-byte entry inside
+// a LogSnapshot payload).
+const KIND_JOIN: u8 = 1;
+const KIND_DOWN: u8 = 2;
+const KIND_REJOIN: u8 = 3;
+const KIND_REPAIR: u8 = 4;
+
+/// Bytes per encoded [`LogEntry`]: kind byte + two `u64` LE fields.
+const LOG_ENTRY_SIZE: usize = 17;
+
+fn put_log_entry(buf: &mut BytesMut, e: &LogEntry) {
+    let (kind, a, b) = match *e {
+        LogEntry::Join { node, epoch } => (KIND_JOIN, node as u64, epoch),
+        LogEntry::Down { node, inc } => (KIND_DOWN, node as u64, inc),
+        LogEntry::Rejoin { node, inc } => (KIND_REJOIN, node as u64, inc),
+        LogEntry::Repair { a, b } => (KIND_REPAIR, a as u64, b as u64),
+    };
+    buf.put_u8(kind);
+    buf.put_u64_le(a);
+    buf.put_u64_le(b);
+}
+
+fn get_log_entry(payload: &mut &[u8]) -> Result<LogEntry, NetError> {
+    let kind = payload.get_u8();
+    let a = payload.get_u64_le();
+    let b = payload.get_u64_le();
+    match kind {
+        KIND_JOIN => Ok(LogEntry::Join {
+            node: a as usize,
+            epoch: b,
+        }),
+        KIND_DOWN => Ok(LogEntry::Down {
+            node: a as usize,
+            inc: b,
+        }),
+        KIND_REJOIN => Ok(LogEntry::Rejoin {
+            node: a as usize,
+            inc: b,
+        }),
+        KIND_REPAIR => Ok(LogEntry::Repair {
+            a: a as usize,
+            b: b as usize,
+        }),
+        k => Err(NetError::Codec(format!("unknown log-entry kind {k}"))),
+    }
+}
 
 /// Maximum accepted payload (guards against corrupt length prefixes):
 /// a tour of 10 million cities is ~40 MB.
@@ -78,6 +128,19 @@ pub fn encode(msg: &Message) -> Bytes {
             buf.put_u32_le(order.len() as u32);
             for &c in order {
                 buf.put_u32_le(c);
+            }
+        }
+        Message::HubClaim { from, epoch } => {
+            buf.put_u8(TAG_HUB_CLAIM);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*epoch);
+        }
+        Message::LogSnapshot { from, entries } => {
+            buf.put_u8(TAG_LOG_SNAPSHOT);
+            buf.put_u64_le(*from as u64);
+            buf.put_u32_le(entries.len() as u32);
+            for e in entries {
+                put_log_entry(&mut buf, e);
             }
         }
     }
@@ -177,6 +240,29 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
                 order,
             })
         }
+        TAG_HUB_CLAIM => {
+            if payload.remaining() != 16 {
+                return Err(err("bad HubClaim size"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let epoch = payload.get_u64_le();
+            Ok(Message::HubClaim { from, epoch })
+        }
+        TAG_LOG_SNAPSHOT => {
+            if payload.remaining() < 8 + 4 {
+                return Err(err("truncated LogSnapshot header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let n = payload.get_u32_le() as usize;
+            if payload.remaining() != LOG_ENTRY_SIZE * n {
+                return Err(err("LogSnapshot entry count mismatch"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_log_entry(&mut payload)?);
+            }
+            Ok(Message::LogSnapshot { from, entries })
+        }
         t => Err(err(&format!("unknown tag {t}"))),
     }
 }
@@ -238,6 +324,50 @@ mod tests {
             length: 4242,
             order: (0..33).rev().collect(),
         });
+    }
+
+    #[test]
+    fn roundtrip_election_variants() {
+        roundtrip(Message::HubClaim {
+            from: 3,
+            epoch: u64::MAX,
+        });
+        roundtrip(Message::LogSnapshot {
+            from: 7,
+            entries: vec![],
+        });
+        roundtrip(Message::LogSnapshot {
+            from: 1,
+            entries: vec![
+                LogEntry::Join { node: 0, epoch: 0 },
+                LogEntry::Down { node: 3, inc: 2 },
+                LogEntry::Rejoin { node: 3, inc: 2 },
+                LogEntry::Repair { a: 1, b: 7 },
+            ],
+        });
+    }
+
+    #[test]
+    fn rejects_bad_log_entries() {
+        // Unknown entry kind byte.
+        let mut bad = vec![TAG_LOG_SNAPSHOT];
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.push(99); // not a valid kind
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode(&bad).is_err());
+        // Entry count larger than the bytes present.
+        let mut short = vec![TAG_LOG_SNAPSHOT];
+        short.extend_from_slice(&1u64.to_le_bytes());
+        short.extend_from_slice(&3u32.to_le_bytes());
+        short.extend_from_slice(&[0u8; LOG_ENTRY_SIZE]); // only one entry
+        assert!(decode(&short).is_err());
+        // HubClaim with a truncated epoch.
+        let mut claim = vec![TAG_HUB_CLAIM];
+        claim.extend_from_slice(&1u64.to_le_bytes());
+        claim.extend_from_slice(&[0u8; 4]);
+        assert!(decode(&claim).is_err());
     }
 
     #[test]

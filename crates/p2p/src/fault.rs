@@ -175,6 +175,13 @@ impl<T: Transport> FaultyTransport<T> {
         &self.cfg
     }
 
+    /// Mutable access to the wrapped transport (for tests and chaos
+    /// drivers that need to reach through the decorator, e.g. to
+    /// inject a peer-down notification on an in-memory endpoint).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
     /// Flip 1–4 random payload bytes and re-decode. `None` means the
     /// codec caught the damage and the message is lost.
     fn corrupt(&mut self, msg: &Message) -> Option<Message> {
@@ -254,6 +261,15 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn leave(&mut self) {
         self.inner.leave();
     }
+
+    // Liveness observations must pass through: without this the
+    // decorator inherited the trait's empty default and silently
+    // swallowed the inner transport's peer-down notifications, so a
+    // node behind fault injection could never trigger clique repair
+    // or a hub election.
+    fn take_peer_downs(&mut self) -> Vec<NodeId> {
+        self.inner.take_peer_downs()
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +290,15 @@ mod tests {
             a.send(1, Message::OptimumFound { from: 0, length: i })
                 .unwrap();
         }
+    }
+
+    #[test]
+    fn peer_downs_pass_through_the_decorator() {
+        let (a, _b) = pair();
+        let mut a = FaultyTransport::new(a, FaultConfig::drop_rate(1.0, 3));
+        a.inner_mut().note_peer_down(1);
+        assert_eq!(a.take_peer_downs(), vec![1]);
+        assert!(a.take_peer_downs().is_empty(), "drained once");
     }
 
     #[test]

@@ -19,12 +19,13 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, RecvTimeoutError};
 use obs_api::{Obs, Value};
 use parking_lot::Mutex;
 
+use crate::election::{MembershipLog, Replica};
 use crate::message::NodeId;
 use crate::tcp::{TcpConfig, TcpEndpoint};
 use crate::topology::{Membership, Topology};
@@ -285,6 +286,13 @@ struct LifecycleState {
     repair_memo: HashMap<NodeId, Vec<NodeId>>,
     expected: usize,
     complete: bool,
+    /// Election epoch this hub serves under (0 for the bootstrap hub).
+    epoch: u64,
+    /// Set when a newer `HUBCLAIM` fenced this hub out of the role:
+    /// lifecycle requests are answered `MOVED <epoch>` from then on,
+    /// so clients fail over instead of acting on a stale membership
+    /// view.
+    stepped_down: bool,
 }
 
 /// A hub promoted from one-shot bootstrapper to lifecycle manager: it
@@ -305,11 +313,20 @@ struct LifecycleState {
 /// Every connection is served on its own short-lived thread under a
 /// read deadline, so a malformed, truncated, or wedged request can
 /// neither consume a join slot nor stall the hub for everyone else.
-/// Hub failure itself is out of scope (see DESIGN.md "Failure model").
+///
+/// The hub role is *migratable* (DESIGN.md §9 "hub migration"): a
+/// fourth request kind, `HUBCLAIM <epoch>`, lets an elected successor
+/// fence this hub out of the role. A claim with an epoch strictly
+/// greater than the hub's own is accepted (`OK STEPDOWN <epoch>`);
+/// from then on lifecycle requests are answered `MOVED <epoch>` so
+/// clients fail over to the successor. Stale claims are answered
+/// `STALE <epoch>`. A successor reconstructs its serving state from a
+/// replicated [`MembershipLog`] via [`LifecycleHub::start_from_log`].
 pub struct LifecycleHub {
     addr: SocketAddr,
     thread: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
+    state: Arc<Mutex<LifecycleState>>,
     obs: Obs,
 }
 
@@ -329,26 +346,79 @@ impl LifecycleHub {
         topology: Topology,
         obs: Obs,
     ) -> Result<Self, NetError> {
+        Self::spawn(
+            addr,
+            LifecycleState {
+                joined: vec![None; expected],
+                membership: Membership::new(topology, expected),
+                repair_memo: HashMap::new(),
+                expected,
+                complete: false,
+                epoch: 0,
+                stepped_down: false,
+            },
+            obs,
+        )
+    }
+
+    /// Start a *successor* hub at `epoch`, reconstructing membership
+    /// and repair memos by replaying a replicated [`MembershipLog`]
+    /// (the same fold [`Replica`] performs on every node, so the
+    /// successor's view agrees with the gossiped consensus). Listen
+    /// addresses are not in the log — the promoted node supplies what
+    /// it knows in `addrs` (typically its own connection table);
+    /// unknown addresses simply yield fewer repair assignments until
+    /// the node re-announces itself via `REJOIN`.
+    pub fn start_from_log(
+        addr: &str,
+        expected: usize,
+        topology: Topology,
+        log: &MembershipLog,
+        epoch: u64,
+        addrs: Vec<Option<SocketAddr>>,
+        obs: Obs,
+    ) -> Result<Self, NetError> {
+        let replica = Replica::from_entries(topology, expected, log.entries());
+        let mut joined = addrs;
+        joined.resize(expected, None);
+        let repair_memo: HashMap<NodeId, Vec<NodeId>> = replica
+            .repair_groups()
+            .iter()
+            .map(|(&dead, group)| (dead, group.clone()))
+            .collect();
+        let complete = joined.iter().all(|a| a.is_some());
+        Self::spawn(
+            addr,
+            LifecycleState {
+                joined,
+                membership: replica.view().clone(),
+                repair_memo,
+                expected,
+                complete,
+                epoch,
+                stepped_down: false,
+            },
+            obs,
+        )
+    }
+
+    fn spawn(addr: &str, state: LifecycleState, obs: Obs) -> Result<Self, NetError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let state = Arc::new(Mutex::new(LifecycleState {
-            joined: vec![None; expected],
-            membership: Membership::new(topology, expected),
-            repair_memo: HashMap::new(),
-            expected,
-            complete: false,
-        }));
+        let state = Arc::new(Mutex::new(state));
+        let loop_state = Arc::clone(&state);
         let loop_stop = Arc::clone(&stop);
         let loop_obs = obs.clone();
         let thread = std::thread::Builder::new()
             .name("p2p-hub-lifecycle".into())
-            .spawn(move || lifecycle_loop(listener, state, loop_stop, loop_obs))
+            .spawn(move || lifecycle_loop(listener, loop_state, loop_stop, loop_obs))
             .expect("spawn hub thread");
         Ok(LifecycleHub {
             addr,
             thread: Some(thread),
             stop,
+            state,
             obs,
         })
     }
@@ -361,6 +431,17 @@ impl LifecycleHub {
     /// The hub's observability handle.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The election epoch this hub currently serves (or last served)
+    /// under — bumped when a newer `HUBCLAIM` is accepted.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Whether a newer claim has fenced this hub out of the role.
+    pub fn stepped_down(&self) -> bool {
+        self.state.lock().stepped_down
     }
 
     /// Stop serving and join the hub thread. Idempotent.
@@ -415,8 +496,8 @@ fn lifecycle_loop(
     }
 }
 
-/// Serve one lifecycle request (`JOIN` / `DOWN` / `REJOIN`) under read
-/// and write deadlines.
+/// Serve one lifecycle request (`JOIN` / `DOWN` / `REJOIN` /
+/// `HUBCLAIM`) under read and write deadlines.
 fn serve_lifecycle(
     stream: TcpStream,
     state: &Mutex<LifecycleState>,
@@ -430,6 +511,18 @@ fn serve_lifecycle(
     reader.read_line(&mut line)?;
     let tokens: Vec<&str> = line.trim().split(' ').collect();
     let mut w = stream;
+    // A fenced-out hub must not act on its now-stale membership view:
+    // everything except further claims is redirected.
+    if !matches!(tokens.first(), Some(&"HUBCLAIM")) {
+        let st = state.lock();
+        if st.stepped_down {
+            let epoch = st.epoch;
+            drop(st);
+            writeln!(w, "MOVED {epoch}")?;
+            w.flush()?;
+            return Ok(());
+        }
+    }
     match tokens.as_slice() {
         ["JOIN", addr] => {
             let listen: SocketAddr = addr
@@ -563,6 +656,31 @@ fn serve_lifecycle(
             );
             Ok(())
         }
+        ["HUBCLAIM", epoch] => {
+            let claimed: u64 = epoch
+                .parse()
+                .map_err(|_| NetError::Codec("bad claim epoch".into()))?;
+            let mut st = state.lock();
+            if claimed > st.epoch {
+                st.epoch = claimed;
+                st.stepped_down = true;
+                obs.counter("hub.step_downs").incr();
+                obs.event("hub.step_down", &[("epoch", Value::U(claimed))]);
+                writeln!(w, "OK STEPDOWN {claimed}")?;
+            } else {
+                obs.counter("hub.stale_claims").incr();
+                obs.event(
+                    "hub.stale_claim",
+                    &[
+                        ("claimed", Value::U(claimed)),
+                        ("epoch", Value::U(st.epoch)),
+                    ],
+                );
+                writeln!(w, "STALE {}", st.epoch)?;
+            }
+            w.flush()?;
+            Ok(())
+        }
         _ => Err(NetError::Codec(format!("bad hub request {line:?}"))),
     }
 }
@@ -608,6 +726,32 @@ pub fn rejoin_via_hub(
         reader.read_line(&mut line)?;
         parse_join_reply(&line)
     })
+}
+
+/// Tell a (presumed stale) hub that the caller now holds the role at
+/// `epoch`. Returns `Ok(true)` when the hub stepped down, `Ok(false)`
+/// when it rejected the claim as stale, and `Err` when it could not be
+/// reached — which, for a claim, usually means it is simply dead and
+/// there is nothing left to fence.
+///
+/// Deliberately single-attempt: the retry/backoff machinery of the
+/// other helpers exists to ride out a hub that is *not up yet*,
+/// whereas a claim targets a hub that is suspected down already.
+pub fn claim_hub(hub: SocketAddr, epoch: u64, cfg: &TcpConfig) -> Result<bool, NetError> {
+    let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+    stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+    stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
+    writeln!(stream, "HUBCLAIM {epoch}")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let tokens: Vec<&str> = line.trim().split(' ').collect();
+    match tokens.as_slice() {
+        ["OK", "STEPDOWN", _] => Ok(true),
+        ["STALE", _] => Ok(false),
+        _ => Err(NetError::Codec(format!("bad claim reply {line:?}"))),
+    }
 }
 
 fn retry_request<T>(
@@ -661,8 +805,30 @@ pub struct SelfHealing {
     thread: Option<JoinHandle<()>>,
 }
 
-/// Attach self-healing to an endpoint (see [`SelfHealing`]).
+/// Attach self-healing to an endpoint (see [`SelfHealing`]). Never
+/// fails over: a dead hub means deaths go unreported, exactly as
+/// pre-migration builds.
 pub fn attach_self_healing(ep: &TcpEndpoint, hub: SocketAddr, cfg: TcpConfig) -> SelfHealing {
+    attach_self_healing_with_failover(ep, hub, cfg, |_| None)
+}
+
+/// [`attach_self_healing`] with hub-failover: when a death report
+/// fails and the last successful hub exchange is older than
+/// [`TcpConfig::hub_liveness_timeout`], the hub is declared silent and
+/// `on_hub_silent` is consulted for a successor address (typically the
+/// announced `HUB_CLAIM` winner, or the next entry of a pre-agreed
+/// address table). A returned address replaces the hub for this and
+/// all subsequent reports; `None` keeps waiting on the old one. With
+/// `hub_liveness_timeout: None` the callback is never invoked.
+pub fn attach_self_healing_with_failover<F>(
+    ep: &TcpEndpoint,
+    hub: SocketAddr,
+    cfg: TcpConfig,
+    on_hub_silent: F,
+) -> SelfHealing
+where
+    F: Fn(NodeId) -> Option<SocketAddr> + Send + 'static,
+{
     let handle = ep.handle();
     let (tx, rx) = unbounded::<NodeId>();
     ep.set_peer_down_hook(move |dead| {
@@ -673,12 +839,37 @@ pub fn attach_self_healing(ep: &TcpEndpoint, hub: SocketAddr, cfg: TcpConfig) ->
     let thread = std::thread::Builder::new()
         .name("p2p-self-heal".into())
         .spawn(move || {
+            let mut hub = hub;
+            let mut last_ok = Instant::now();
             while !thread_stop.load(Ordering::Acquire) {
                 match rx.recv_timeout(Duration::from_millis(50)) {
                     Ok(dead) => {
-                        if let Ok(assignments) = report_down(hub, handle.node_id(), dead, &cfg) {
-                            for (nid, addr) in assignments {
-                                let _ = handle.connect_to(nid, addr);
+                        match report_down(hub, handle.node_id(), dead, &cfg) {
+                            Ok(assignments) => {
+                                last_ok = Instant::now();
+                                for (nid, addr) in assignments {
+                                    let _ = handle.connect_to(nid, addr);
+                                }
+                            }
+                            Err(_) => {
+                                let silent = cfg
+                                    .hub_liveness_timeout
+                                    .is_some_and(|t| last_ok.elapsed() >= t);
+                                if !silent {
+                                    continue;
+                                }
+                                let Some(next) = on_hub_silent(dead) else {
+                                    continue;
+                                };
+                                hub = next;
+                                if let Ok(assignments) =
+                                    report_down(hub, handle.node_id(), dead, &cfg)
+                                {
+                                    last_ok = Instant::now();
+                                    for (nid, addr) in assignments {
+                                        let _ = handle.connect_to(nid, addr);
+                                    }
+                                }
                             }
                         }
                     }
@@ -996,6 +1187,171 @@ mod tests {
         );
         assert!(parse_repair_reply("NOPE").is_err());
         assert!(parse_repair_reply("REPAIR x@y").is_err());
+    }
+
+    /// `HUBCLAIM` epoch fencing over real sockets: a newer claim makes
+    /// the hub step down and redirect lifecycle traffic; equal or
+    /// older claims are rejected as stale.
+    #[test]
+    fn hubclaim_fences_by_epoch_over_sockets() {
+        let obs = Obs::for_node(u32::MAX - 2);
+        let mut hub =
+            LifecycleHub::start_with("127.0.0.1:0", 4, Topology::Ring, obs.clone()).unwrap();
+        let addr = hub.addr();
+        let cfg = TcpConfig::fast_fail();
+
+        assert_eq!(hub.epoch(), 0);
+        assert!(!hub.stepped_down());
+        assert!(claim_hub(addr, 1, &cfg).unwrap(), "first claim must win");
+        assert_eq!(hub.epoch(), 1);
+        assert!(hub.stepped_down());
+        // Re-delivery and older epochs are fenced.
+        assert!(!claim_hub(addr, 1, &cfg).unwrap());
+        assert!(!claim_hub(addr, 0, &cfg).unwrap());
+        // A stepped-down hub redirects lifecycle requests (`MOVED`),
+        // which clients surface as an error and treat as failover.
+        assert!(report_down(addr, 1, 2, &cfg).is_err());
+        assert!(rejoin_via_hub(addr, 2, "127.0.0.1:41000".parse().unwrap(), &cfg).is_err());
+        // Claims keep working after step-down: a yet-newer claimer can
+        // still fence the epoch forward.
+        assert!(claim_hub(addr, 5, &cfg).unwrap());
+        assert_eq!(hub.epoch(), 5);
+        hub.stop();
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hub.step_downs"), 2);
+        assert_eq!(snap.counter("hub.stale_claims"), 2);
+        if obs_api::ENABLED {
+            assert!(obs.events().iter().any(|e| e.kind == "hub.step_down"));
+        }
+    }
+
+    /// A successor started from a replicated membership log serves
+    /// DOWN and REJOIN exactly where the dead hub left off: the repair
+    /// memo survives the migration, and a rejoiner re-announces its
+    /// address to the new hub.
+    #[test]
+    fn successor_hub_restores_state_from_log() {
+        // What every node's replica would hold after node 2 died.
+        let mut replica = Replica::bootstrap(Topology::Ring, 4);
+        replica.note_down(2);
+        let listens: Vec<Option<SocketAddr>> = (0..4)
+            .map(|i| format!("127.0.0.1:{}", 41010 + i).parse().ok())
+            .collect();
+
+        let mut hub = LifecycleHub::start_from_log(
+            "127.0.0.1:0",
+            4,
+            Topology::Ring,
+            replica.log(),
+            1,
+            listens.clone(),
+            Obs::disabled(),
+        )
+        .unwrap();
+        let addr = hub.addr();
+        let cfg = TcpConfig::fast_fail();
+        assert_eq!(hub.epoch(), 1);
+
+        // The death of 2 predates the migration, yet reporters still
+        // receive their repair assignments from the replayed memo.
+        assert_eq!(
+            report_down(addr, 1, 2, &cfg).unwrap(),
+            vec![(3, listens[3].unwrap())]
+        );
+        assert!(report_down(addr, 3, 2, &cfg).unwrap().is_empty());
+
+        // The rejoin path also works post-migration.
+        let back: SocketAddr = "127.0.0.1:41019".parse().unwrap();
+        let info = rejoin_via_hub(addr, 2, back, &cfg).unwrap();
+        assert_eq!(info.id, 2);
+        let mut ids: Vec<NodeId> = info.neighbors.iter().map(|&(i, _)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3]);
+        hub.stop();
+    }
+
+    /// End-to-end hub failover over real sockets: the original hub
+    /// dies, a node death goes unreportable, the healer declares the
+    /// hub silent past `hub_liveness_timeout`, fails over to the
+    /// successor (started from the replicated log), and the repair
+    /// edge still appears — the topology heals with no hub downtime
+    /// visible to the search layer.
+    #[test]
+    fn failover_healer_switches_to_successor_hub() {
+        let mut hub = LifecycleHub::start("127.0.0.1:0", 4, Topology::Ring).unwrap();
+        let hub_addr = hub.addr();
+        let cfg = TcpConfig::fast_fail()
+            .with_liveness(Duration::from_millis(400))
+            .with_hub_liveness(Duration::from_millis(1));
+
+        // The successor hub every healer fails over to, primed with
+        // the replicated bootstrap log (4 joins, no deaths yet).
+        let replica = Replica::bootstrap(Topology::Ring, 4);
+
+        let mut eps: Vec<TcpEndpoint> = Vec::new();
+        for _ in 0..4 {
+            let mut ep = TcpEndpoint::bind_with(usize::MAX, "127.0.0.1:0", cfg.clone()).unwrap();
+            let info = join_via_hub(hub_addr, ep.listen_addr()).unwrap();
+            ep.set_id(info.id);
+            for (nid, addr) in &info.neighbors {
+                ep.connect_to(*nid, *addr).unwrap();
+            }
+            eps.push(ep);
+        }
+        let listens: Vec<Option<SocketAddr>> = eps.iter().map(|e| Some(e.listen_addr())).collect();
+        let mut successor = LifecycleHub::start_from_log(
+            "127.0.0.1:0",
+            4,
+            Topology::Ring,
+            replica.log(),
+            1,
+            listens,
+            Obs::disabled(),
+        )
+        .unwrap();
+        let successor_addr = successor.addr();
+        let mut healers: Vec<SelfHealing> = eps
+            .iter()
+            .map(|ep| {
+                attach_self_healing_with_failover(ep, hub_addr, cfg.clone(), move |_| {
+                    Some(successor_addr)
+                })
+            })
+            .collect();
+        assert!(crate::util::wait_until(
+            || eps.iter().all(|e| e.neighbors().len() == 2),
+            Duration::from_secs(5)
+        ));
+
+        // The original hub dies first, then node 2 crashes: deaths can
+        // only be served by the successor.
+        hub.stop();
+        let mut dead = eps.remove(2);
+        healers.remove(2).stop();
+        dead.shutdown();
+
+        assert!(
+            crate::util::wait_until(
+                || {
+                    let n1 = eps[1].neighbors();
+                    let n3 = eps[2].neighbors();
+                    n1.contains(&3) && n3.contains(&1) && !n1.contains(&2) && !n3.contains(&2)
+                },
+                Duration::from_secs(10)
+            ),
+            "repair edge 1-3 never appeared after failover: 1->{:?} 3->{:?}",
+            eps[1].neighbors(),
+            eps[2].neighbors()
+        );
+
+        for h in &mut healers {
+            h.stop();
+        }
+        for e in &mut eps {
+            e.shutdown();
+        }
+        successor.stop();
     }
 
     #[test]

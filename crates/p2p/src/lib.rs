@@ -21,6 +21,7 @@
 
 pub mod codec;
 pub mod delay;
+pub mod election;
 pub mod fault;
 pub mod hub;
 pub mod memory;
@@ -30,6 +31,7 @@ pub mod topology;
 pub mod transport;
 pub mod util;
 
+pub use election::{ElectionState, LogEntry, MembershipLog, Replica};
 pub use fault::{FaultConfig, FaultyTransport};
 pub use memory::InMemoryNetwork;
 pub use message::{broadcast_id, Message, NodeId};

@@ -77,6 +77,27 @@ pub enum Message {
         /// Visiting order.
         order: Vec<u32>,
     },
+    /// `HUB_CLAIM(epoch)`: node `from` claims (or is relayed to have
+    /// claimed) the lifecycle-hub role at `epoch`. Receivers accept
+    /// iff the epoch is newer — or equally new with a lower claimer
+    /// id — and forward accepted claims; stale hubs step down (see
+    /// [`crate::election`]).
+    HubClaim {
+        /// Claiming node (not necessarily the transport-level sender:
+        /// claims are relayable facts).
+        from: NodeId,
+        /// Fencing epoch of the claim.
+        epoch: u64,
+    },
+    /// A batch of replicated membership-log entries: either a gossip
+    /// delta (the entries that just changed a replica's state) or a
+    /// full log snapshot for a rejoiner rebuilding its replica.
+    LogSnapshot {
+        /// Sending node.
+        from: NodeId,
+        /// Log entries, oldest first.
+        entries: Vec<crate::election::LogEntry>,
+    },
 }
 
 /// Compose a per-broadcast tour id from the originating node and its
@@ -97,7 +118,9 @@ impl Message {
             | Message::Ping { from }
             | Message::Pong { from }
             | Message::BestRequest { from }
-            | Message::BestReply { from, .. } => from,
+            | Message::BestReply { from, .. }
+            | Message::HubClaim { from, .. }
+            | Message::LogSnapshot { from, .. } => from,
         }
     }
 
@@ -111,6 +134,8 @@ impl Message {
             Message::OptimumFound { .. } => 1 + 8 + 8,
             Message::Leave { .. } | Message::Ping { .. } | Message::Pong { .. } => 1 + 8,
             Message::BestRequest { .. } => 1 + 8,
+            Message::HubClaim { .. } => 1 + 8 + 8,
+            Message::LogSnapshot { entries, .. } => 1 + 8 + 4 + 17 * entries.len(),
         }
     }
 }
@@ -172,6 +197,39 @@ mod tests {
         };
         assert_eq!(a.wire_size(), b.wire_size());
         assert_eq!(Message::Ping { from: 0 }.wire_size(), 9);
+    }
+
+    #[test]
+    fn from_extracts_sender_election_messages() {
+        use crate::election::LogEntry;
+        assert_eq!(Message::HubClaim { from: 3, epoch: 2 }.from(), 3);
+        assert_eq!(
+            Message::LogSnapshot {
+                from: 4,
+                entries: vec![LogEntry::Down { node: 1, inc: 0 }]
+            }
+            .from(),
+            4
+        );
+    }
+
+    #[test]
+    fn election_wire_sizes() {
+        use crate::election::LogEntry;
+        assert_eq!(Message::HubClaim { from: 0, epoch: 0 }.wire_size(), 17);
+        let empty = Message::LogSnapshot {
+            from: 0,
+            entries: vec![],
+        };
+        let two = Message::LogSnapshot {
+            from: 0,
+            entries: vec![
+                LogEntry::Join { node: 0, epoch: 0 },
+                LogEntry::Repair { a: 1, b: 2 },
+            ],
+        };
+        assert_eq!(empty.wire_size(), 13);
+        assert_eq!(two.wire_size() - empty.wire_size(), 2 * 17);
     }
 
     #[test]

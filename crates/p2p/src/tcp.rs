@@ -76,6 +76,14 @@ pub struct TcpConfig {
     /// peers refresh their clocks (pongs are answered at the reader
     /// level and never reach the application inbox).
     pub liveness_timeout: Option<Duration>,
+    /// Hub-silence threshold for the failover-aware self-healer
+    /// ([`crate::hub::attach_self_healing_with_failover`]): when a
+    /// lifecycle request to the hub fails and the last successful hub
+    /// exchange is older than this, the hub is declared silent and the
+    /// healer asks its failover callback for a successor address.
+    /// `None` (the default) never fails over — requests to a dead hub
+    /// simply error, exactly as pre-migration builds.
+    pub hub_liveness_timeout: Option<Duration>,
 }
 
 impl Default for TcpConfig {
@@ -89,6 +97,7 @@ impl Default for TcpConfig {
             backoff_max: Duration::from_secs(1),
             outbound_queue: 256,
             liveness_timeout: None,
+            hub_liveness_timeout: None,
         }
     }
 }
@@ -110,6 +119,13 @@ impl TcpConfig {
     /// Enable the failure detector with the given timeout.
     pub fn with_liveness(mut self, timeout: Duration) -> Self {
         self.liveness_timeout = Some(timeout);
+        self
+    }
+
+    /// Enable hub-silence detection with the given threshold (see
+    /// [`TcpConfig::hub_liveness_timeout`]).
+    pub fn with_hub_liveness(mut self, timeout: Duration) -> Self {
+        self.hub_liveness_timeout = Some(timeout);
         self
     }
 }

@@ -194,6 +194,20 @@ impl Membership {
         back
     }
 
+    /// Insert the undirected edge `a — b` directly (used when replaying
+    /// `REPAIR` entries from a replicated membership log, where the
+    /// repair edges arrive as facts rather than being re-derived from a
+    /// death). Returns `true` if the edge was new in either direction;
+    /// out-of-range or self edges are ignored.
+    pub fn wire(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b || a >= self.n || b >= self.n {
+            return false;
+        }
+        let fresh_a = self.adj[a].insert(b);
+        let fresh_b = self.adj[b].insert(a);
+        fresh_a || fresh_b
+    }
+
     /// Is the alive subgraph (with repair edges) connected?
     pub fn alive_connected(&self) -> bool {
         let alive = self.alive_nodes();
@@ -380,6 +394,18 @@ mod tests {
         // lowest-id alive node.
         assert_eq!(m.rejoin(3), vec![1]);
         assert!(m.alive_connected());
+    }
+
+    #[test]
+    fn membership_wire_inserts_symmetric_edges_once() {
+        let mut m = Membership::new(Topology::Ring, 6);
+        assert!(m.wire(0, 3));
+        assert!(!m.wire(3, 0), "re-wiring the same edge is a no-op");
+        assert!(m.neighbors(0).contains(&3));
+        assert!(m.neighbors(3).contains(&0));
+        // Degenerate edges are rejected.
+        assert!(!m.wire(2, 2));
+        assert!(!m.wire(0, 17));
     }
 
     #[test]

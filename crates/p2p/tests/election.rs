@@ -1,0 +1,161 @@
+//! Conformance tests for the deterministic hub election (DESIGN.md §9
+//! "hub migration"): replicas that saw the same membership facts must
+//! name the same winner, epoch fencing must reject every stale claim,
+//! and concurrent candidates must converge — on every seed.
+
+use p2p::{LogEntry, Replica, Topology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Gossip closure at the replica level: apply `entries` everywhere
+/// (delivery order across nodes is irrelevant — `apply` is a CRDT-ish
+/// idempotent fold, covered by its own unit tests).
+fn gossip_all(replicas: &mut [Replica], entries: &[LogEntry]) {
+    for r in replicas.iter_mut() {
+        r.apply(entries);
+    }
+}
+
+/// Kill `dead` as one alive reporter would: record locally, gossip the
+/// resulting Down + Repair entries to every replica.
+fn kill(replicas: &mut [Replica], reporter: usize, dead: usize) {
+    let entries = replicas[reporter].note_down(dead);
+    assert!(!entries.is_empty(), "kill of {dead} produced no entries");
+    gossip_all(replicas, &entries);
+}
+
+/// Ten seeded churn patterns: after any sequence of deaths (always
+/// including the bootstrap hub, node 0, so an election is actually
+/// required), every replica names the same winner — the minimum alive
+/// id — and a flooded claim from that winner is accepted everywhere.
+#[test]
+fn every_node_observes_the_same_winner_across_ten_seeds() {
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 2 * rng.gen_range(2..=6usize); // 4..=12 nodes
+        let mut replicas: Vec<Replica> =
+            (0..n).map(|_| Replica::bootstrap(Topology::Hypercube, n)).collect();
+
+        // Kill the hub plus up to n-3 seeded extras (≥ 2 survivors).
+        let extra = rng.gen_range(0..=(n - 3));
+        let mut dead = vec![0usize];
+        while dead.len() < 1 + extra {
+            let d = rng.gen_range(1..n);
+            if !dead.contains(&d) {
+                dead.push(d);
+            }
+        }
+        for &d in &dead {
+            let reporter = (0..n).find(|v| !dead.contains(v)).unwrap();
+            kill(&mut replicas, reporter, d);
+        }
+
+        let expected = (0..n).find(|v| !dead.contains(v)).unwrap();
+        for (v, r) in replicas.iter().enumerate() {
+            if dead.contains(&v) {
+                continue;
+            }
+            assert!(!r.hub_alive(), "seed {seed}: node {v} still trusts a dead hub");
+            assert_eq!(
+                r.winner(),
+                Some(expected),
+                "seed {seed}: node {v} elected a different winner"
+            );
+        }
+
+        // The winner claims; the flood is accepted by every survivor.
+        let epoch = replicas[expected].epoch() + 1;
+        for (v, r) in replicas.iter_mut().enumerate() {
+            if dead.contains(&v) {
+                continue;
+            }
+            assert!(
+                r.observe_claim(expected, epoch),
+                "seed {seed}: node {v} rejected the winner's claim"
+            );
+            assert_eq!(r.hub(), Some(expected));
+            assert_eq!(r.epoch(), epoch);
+        }
+    }
+}
+
+/// Epoch fencing: once a claim at epoch `e` is in force, re-delivery
+/// of the same claim and anything older is rejected on every replica —
+/// the claim epidemic terminates.
+#[test]
+fn stale_claim_epochs_are_rejected_everywhere() {
+    let n = 8;
+    let mut replicas: Vec<Replica> =
+        (0..n).map(|_| Replica::bootstrap(Topology::Hypercube, n)).collect();
+    kill(&mut replicas, 1, 0);
+
+    for r in replicas.iter_mut().skip(1) {
+        assert!(r.observe_claim(1, 2));
+    }
+    for (v, r) in replicas.iter_mut().enumerate().skip(1) {
+        assert!(!r.observe_claim(1, 2), "node {v} re-accepted the claim");
+        assert!(!r.observe_claim(1, 1), "node {v} accepted an older epoch");
+        assert!(!r.observe_claim(3, 2), "node {v} accepted a same-epoch higher id");
+        assert!(!r.observe_claim(3, 0), "node {v} accepted the stale bootstrap claim");
+        assert_eq!((r.hub(), r.epoch()), (Some(1), 2));
+    }
+}
+
+/// Two candidates claim the same epoch concurrently (each believed
+/// itself the winner under a partial view). Whatever order the two
+/// floods arrive in, every replica settles on the lower candidate id —
+/// and the loser itself accepts the winner's claim.
+#[test]
+fn concurrent_candidates_converge_to_the_lower_id() {
+    let n = 8;
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut replicas: Vec<Replica> =
+            (0..n).map(|_| Replica::bootstrap(Topology::Hypercube, n)).collect();
+        kill(&mut replicas, 1, 0);
+
+        // Nodes 1 and 2 both claim epoch 1; per-replica arrival order
+        // is seeded.
+        for (v, r) in replicas.iter_mut().enumerate().skip(1) {
+            let claims = if rng.gen_bool(0.5) { [(1, 1), (2, 1)] } else { [(2, 1), (1, 1)] };
+            for (claimer, epoch) in claims {
+                r.observe_claim(claimer, epoch);
+            }
+            assert_eq!(
+                (r.hub(), r.epoch()),
+                (Some(1), 1),
+                "seed {seed}: node {v} did not converge on the lower candidate"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// For any subset of deaths that leaves at least one survivor,
+    /// every surviving replica elects the minimum alive id.
+    #[test]
+    fn any_alive_subset_elects_the_minimum_alive_id(
+        n in 2..16usize,
+        mask in prop::collection::vec(any::<bool>(), 16..17),
+    ) {
+        let mut dead: Vec<usize> = (0..n).filter(|&v| mask[v]).collect();
+        if dead.len() == n {
+            // Leave at least one survivor to hold an election at all.
+            dead.pop();
+        }
+        let mut replicas: Vec<Replica> =
+            (0..n).map(|_| Replica::bootstrap(Topology::Hypercube, n)).collect();
+        for &d in &dead {
+            let reporter = (0..n).find(|v| !dead.contains(v)).unwrap();
+            kill(&mut replicas, reporter, d);
+        }
+        let expected = (0..n).find(|v| !dead.contains(v));
+        for (v, r) in replicas.iter().enumerate() {
+            if dead.contains(&v) {
+                continue;
+            }
+            prop_assert_eq!(r.winner(), expected, "node {}", v);
+        }
+    }
+}
