@@ -3,7 +3,9 @@
 //! 1. the four run modes of §4.2: default (8 nodes + DBM), 1 node,
 //!    no-DBM, and both restrictions;
 //! 2. the network topology (hypercube vs. ring vs. complete vs. star);
-//! 3. the perturbation parameters `c_v` / `c_r`.
+//! 3. the perturbation parameters `c_v` / `c_r`;
+//! 4. the candidate-list kind (k-NN vs. α-nearness vs. hybrid) through
+//!    the full distributed stack.
 
 use lk::KickStrategy;
 use p2p::Topology;
@@ -61,6 +63,27 @@ pub fn run(scale: &Scale) -> Report {
     }
     report.para("Topology (8 nodes): quality vs. message volume:");
     report.table(&["Topology", "Mean best length", "Mean messages"], &rows);
+
+    // 2c. Candidate-list kinds through the distributed stack: the
+    // candidate knob is part of the wire config, so the lists every
+    // node searches over come from `distclk::build_neighbors` (inside
+    // `run_dist_many`), exactly as a deployment would build them.
+    {
+        let mut rows = Vec::new();
+        for kind in lk::CandidateKind::ALL {
+            let mut cfg = dist_config(scale, kick, scale.nodes, 0);
+            cfg.clk.candidates = kind;
+            let runs = run_dist_many(&inst, &cfg, scale.runs, 0xB7, None);
+            let lens: Vec<f64> = runs.iter().map(|r| r.best_length as f64).collect();
+            rows.push(vec![kind.name().to_string(), format!("{:.0}", mean(&lens))]);
+            csv.push(format!("candidates,{},{:.1}", kind.name(), mean(&lens)));
+        }
+        report.para(
+            "Candidate-list kind (k-NN vs. α-nearness vs. hybrid), same \
+             width and budget, through the distributed stack:",
+        );
+        report.table(&["Candidate kind", "Mean best length"], &rows);
+    }
 
     // 1b. Construction diversity extension: rotating constructions per
     // node vs. everyone starting from the same deterministic QB tour.

@@ -63,7 +63,9 @@ pub fn run_dist_many(
     seed0: u64,
     target: Option<i64>,
 ) -> Vec<DistResult> {
-    let nl = NeighborLists::build(inst, 10);
+    // Lists must come from the shared wire config (candidate kind +
+    // width), not a hardcoded builder — see `distclk::build_neighbors`.
+    let nl = distclk::build_neighbors(inst, base);
     (0..runs)
         .map(|r| {
             let mut cfg = base.clone();

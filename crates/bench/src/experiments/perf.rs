@@ -9,6 +9,18 @@
 //! justifies `ChainedLkConfig::tl_threshold`, and the largest size
 //! demonstrates the headline speedup.
 //!
+//! Three further sweeps ride along:
+//!
+//! - **candidate kinds** — k-NN vs α-nearness vs hybrid lists through
+//!   the same engine (α is O(n²) to build, so this sweep stops at
+//!   paper-scale sizes);
+//! - **parallel kicks** — speculative kick workers vs the serial
+//!   chain at the same kick budget, with the `workers = 1` run asserted
+//!   bit-identical to the serial baseline;
+//! - **lockstep identity** — a 10-seed distributed lockstep suite
+//!   asserting `workers = 1` reproduces the historical serial engine
+//!   exactly.
+//!
 //! Outputs `perf.md` + `perf_speedup.csv` like every experiment, plus
 //! `BENCH_lk.json` under `target/repro/` with the machine-readable
 //! measurements (consumed by CI as an artifact).
@@ -20,7 +32,8 @@
 
 use std::fmt::Write as _;
 
-use lk::{Budget, ChainedLkConfig, ClkEngine};
+use distclk::{run_lockstep, DistConfig};
+use lk::{Budget, CandidateKind, ChainedLkConfig, ClkEngine, Stopwatch};
 use tsp_core::{generate, NeighborLists};
 
 use crate::report::{fmt_secs, Report};
@@ -73,6 +86,103 @@ fn measure(n: usize, kicks: u64, seed: u64) -> SizePoint {
         }
     }
     point
+}
+
+/// One candidate-kind measurement: list construction cost plus a
+/// fixed-budget engine run on those lists.
+struct CandidatePoint {
+    n: usize,
+    kind: &'static str,
+    kicks: u64,
+    build_secs: f64,
+    run_secs: f64,
+    len: i64,
+}
+
+fn measure_candidates(n: usize, kicks: u64, seed: u64) -> Vec<CandidatePoint> {
+    let inst = generate::uniform(n, 1_000_000.0, seed);
+    CandidateKind::ALL
+        .iter()
+        .map(|&kind| {
+            let cfg = ChainedLkConfig {
+                seed,
+                candidates: kind,
+                ..Default::default()
+            };
+            let watch = Stopwatch::start();
+            let nl = cfg.build_neighbors(&inst);
+            let build_secs = watch.secs();
+            let mut engine = ClkEngine::auto(&inst, &nl, cfg);
+            let res = engine.run(&Budget::kicks(kicks));
+            CandidatePoint {
+                n,
+                kind: kind.name(),
+                kicks,
+                build_secs,
+                run_secs: res.seconds,
+                len: res.length,
+            }
+        })
+        .collect()
+}
+
+/// One parallel-kick measurement at a worker count. `matches_serial`
+/// is the bit-identity check against the serial rep-sweep baseline
+/// (only meaningful for `workers = 1`, `None` otherwise).
+struct ParallelPoint {
+    n: usize,
+    workers: usize,
+    kicks: u64,
+    secs: f64,
+    len: i64,
+    matches_serial: Option<bool>,
+}
+
+fn measure_parallel(n: usize, kicks: u64, seed: u64, serial_len: i64) -> Vec<ParallelPoint> {
+    let inst = generate::uniform(n, 1_000_000.0, seed);
+    let nl = NeighborLists::build(&inst, 10);
+    [1usize, 4]
+        .iter()
+        .map(|&workers| {
+            let cfg = ChainedLkConfig {
+                seed,
+                kick_workers: workers,
+                ..Default::default()
+            };
+            let mut engine = ClkEngine::auto(&inst, &nl, cfg);
+            let res = engine.run(&Budget::kicks(kicks));
+            assert_eq!(res.kicks, kicks);
+            ParallelPoint {
+                n,
+                workers,
+                kicks,
+                secs: res.seconds,
+                len: res.length,
+                matches_serial: (workers == 1).then_some(res.length == serial_len),
+            }
+        })
+        .collect()
+}
+
+/// 10-seed distributed lockstep suite: `kick_workers = 1` must
+/// reproduce the historical serial engine bit-for-bit on every seed.
+fn workers_one_lockstep_identical() -> bool {
+    let inst = generate::uniform(120, 100_000.0, 4242);
+    let nl = NeighborLists::build(&inst, 8);
+    (0..10u64).all(|seed| {
+        let serial = DistConfig {
+            nodes: 4,
+            clk_kicks_per_call: 4,
+            budget: Budget::kicks(3),
+            seed,
+            ..Default::default()
+        };
+        let mut one = serial.clone();
+        one.clk.kick_workers = 1;
+        let a = run_lockstep(&inst, &nl, &serial);
+        let b = run_lockstep(&inst, &nl, &one);
+        a.best_length == b.best_length && a.best_tour.order() == b.best_tour.order()
+    })
 }
 
 /// Dispatcher entry (registry + `bench all`): sweep sized by the scale.
@@ -183,17 +293,147 @@ pub fn run_mode(smoke: bool) -> Report {
         ));
     }
 
-    write_bench_json(&mut report, smoke, seed, threshold, &results);
+    // Candidate-kind ablation: α lists cost O(n²) to build, so the
+    // sweep stays at paper-scale sizes even in the full mode.
+    let cand_points: &[(usize, u64)] = if smoke {
+        &[(500, 60), (2_000, 60)]
+    } else {
+        &[(1_000, 400), (5_000, 200)]
+    };
+    report.para(
+        "Candidate-kind ablation: the same engine and budget on k-NN, \
+         α-nearness, and hybrid candidate lists. Build time is the list \
+         construction (α includes the Held-Karp ascent).",
+    );
+    let mut cand_rows = Vec::new();
+    let mut cand_csv = Vec::new();
+    let mut cand_results = Vec::new();
+    for &(n, kicks) in cand_points {
+        for p in measure_candidates(n, kicks, seed) {
+            cand_rows.push(vec![
+                p.n.to_string(),
+                p.kind.to_string(),
+                p.kicks.to_string(),
+                fmt_secs(p.build_secs),
+                fmt_secs(p.run_secs),
+                p.len.to_string(),
+            ]);
+            cand_csv.push(format!(
+                "{},{},{},{:.6},{:.6},{}",
+                p.n, p.kind, p.kicks, p.build_secs, p.run_secs, p.len
+            ));
+            cand_results.push(p);
+        }
+    }
+    report.table(
+        &["cities", "candidates", "kicks", "build", "run", "length"],
+        &cand_rows,
+    );
+    report.series(
+        "candidates",
+        "n,kind,kicks,build_secs,run_secs,len",
+        cand_csv,
+    );
+
+    // Speculative parallel kicks at the same attempt budget. The
+    // workers = 1 row must be bit-identical to the serial rep-sweep
+    // result above (same cfg, seed, and budget → the exact serial
+    // code path), which we assert. Wall-clock speedup for workers > 1
+    // depends on host parallelism, so it is recorded, not asserted.
+    let par_points: &[(usize, u64)] = if smoke {
+        &[(2_000, 60)]
+    } else {
+        &[(10_000, 200), (100_000, 50)]
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    report.para(&format!(
+        "Speculative parallel kicks (host parallelism: {cores}): \
+         workers explore W kicks per step against the same total \
+         attempt budget; `workers = 1` is asserted bit-identical to \
+         the serial baseline."
+    ));
+    let mut par_rows = Vec::new();
+    let mut par_csv = Vec::new();
+    let mut par_results = Vec::new();
+    for &(n, kicks) in par_points {
+        let serial_len = results
+            .iter()
+            .find(|p| p.n == n && p.kicks == kicks)
+            .map(|p| p.array_len)
+            .expect("parallel sweep points are a subset of the rep sweep");
+        for p in measure_parallel(n, kicks, seed, serial_len) {
+            if let Some(matches) = p.matches_serial {
+                assert!(
+                    matches,
+                    "workers=1 diverged from serial at n={}: {} vs {}",
+                    p.n, p.len, serial_len
+                );
+            }
+            par_rows.push(vec![
+                p.n.to_string(),
+                p.workers.to_string(),
+                p.kicks.to_string(),
+                fmt_secs(p.secs),
+                p.len.to_string(),
+                p.matches_serial
+                    .map_or_else(|| "-".into(), |m| m.to_string()),
+            ]);
+            par_csv.push(format!(
+                "{},{},{},{:.6},{},{}",
+                p.n,
+                p.workers,
+                p.kicks,
+                p.secs,
+                p.len,
+                p.matches_serial.map_or_else(String::new, |m| m.to_string())
+            ));
+            par_results.push(p);
+        }
+    }
+    report.table(
+        &["cities", "workers", "kicks", "time", "length", "matches serial"],
+        &par_rows,
+    );
+    report.series(
+        "parallel_kicks",
+        "n,workers,kicks,secs,len,matches_serial",
+        par_csv,
+    );
+
+    // 10-seed distributed lockstep identity for workers = 1.
+    let lockstep_ok = workers_one_lockstep_identical();
+    assert!(lockstep_ok, "workers=1 lockstep identity suite failed");
+    report.para(
+        "10-seed distributed lockstep suite: `kick_workers = 1` \
+         reproduced the serial engine exactly on every seed.",
+    );
+
+    write_bench_json(
+        &mut report,
+        smoke,
+        seed,
+        threshold,
+        cores,
+        &results,
+        &cand_results,
+        &par_results,
+        lockstep_ok,
+    );
     report
 }
 
 /// Machine-readable results for CI: `target/repro/BENCH_lk.json`.
+#[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     report: &mut Report,
     smoke: bool,
     seed: u64,
     threshold: usize,
+    cores: usize,
     results: &[SizePoint],
+    cand_results: &[CandidatePoint],
+    par_results: &[ParallelPoint],
+    lockstep_ok: bool,
 ) {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -201,6 +441,8 @@ fn write_bench_json(
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"tl_threshold\": {threshold},");
+    let _ = writeln!(json, "  \"host_parallelism\": {cores},");
+    let _ = writeln!(json, "  \"workers1_lockstep_identical\": {lockstep_ok},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, p) in results.iter().enumerate() {
         let _ = writeln!(
@@ -218,6 +460,39 @@ fn write_bench_json(
             p.twolevel_len,
             p.lengths_match(),
             if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"candidates\": [");
+    for (i, p) in cand_results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"kind\": \"{}\", \"kicks\": {}, \
+             \"build_secs\": {:.6}, \"run_secs\": {:.6}, \"len\": {}}}{}",
+            p.n,
+            p.kind,
+            p.kicks,
+            p.build_secs,
+            p.run_secs,
+            p.len,
+            if i + 1 < cand_results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"parallel_kicks\": [");
+    for (i, p) in par_results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"workers\": {}, \"kicks\": {}, \
+             \"secs\": {:.6}, \"len\": {}, \"matches_serial\": {}}}{}",
+            p.n,
+            p.workers,
+            p.kicks,
+            p.secs,
+            p.len,
+            p.matches_serial
+                .map_or_else(|| "null".into(), |m| m.to_string()),
+            if i + 1 < par_results.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ]");
@@ -238,9 +513,20 @@ mod tests {
         let report = run_mode(true);
         assert!(report.markdown.contains("speedup"));
         assert!(report.csv.iter().any(|(n, _, _)| n == "speedup"));
+        assert!(report.csv.iter().any(|(n, _, _)| n == "candidates"));
+        assert!(report.csv.iter().any(|(n, _, _)| n == "parallel_kicks"));
         let json = std::fs::read_to_string(Report::out_dir().join("BENCH_lk.json"))
             .expect("BENCH_lk.json written");
         assert!(json.contains("\"lengths_match\": true"));
         assert!(!json.contains("\"lengths_match\": false"));
+        // Candidate ablation covers all three kinds.
+        for kind in ["knn", "alpha", "hybrid"] {
+            assert!(json.contains(&format!("\"kind\": \"{kind}\"")), "{kind}");
+        }
+        // The workers = 1 row matched the serial baseline, and the
+        // 10-seed lockstep identity suite passed.
+        assert!(json.contains("\"matches_serial\": true"));
+        assert!(!json.contains("\"matches_serial\": false"));
+        assert!(json.contains("\"workers1_lockstep_identical\": true"));
     }
 }

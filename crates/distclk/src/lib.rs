@@ -38,3 +38,17 @@ pub use churn::{run_lockstep_churn, ChurnAction, ChurnSchedule};
 pub use driver::{run_lockstep, run_lockstep_over, run_over_transports, run_threads, DistResult};
 pub use node::{DistConfig, NodeDriver, NodeEvent, NodeResult};
 pub use perturb::{PerturbAction, Perturbator};
+
+/// Build the candidate lists a distributed run's config asks for
+/// (`cfg.clk.candidates` of width `cfg.clk.neighbor_k`). The drivers
+/// take lists by reference so they are built once per process, but they
+/// must match the wire-level config: every node derives its engine from
+/// `cfg.clk`, so lists built any other way would make nodes disagree
+/// with the config they gossip. Deterministic in `(instance, cfg)`,
+/// hence bit-identical across nodes and hosts.
+pub fn build_neighbors(
+    inst: &tsp_core::Instance,
+    cfg: &DistConfig,
+) -> tsp_core::NeighborLists {
+    cfg.clk.build_neighbors(inst)
+}

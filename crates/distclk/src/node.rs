@@ -15,8 +15,12 @@ pub struct DistConfig {
     pub nodes: usize,
     /// Network topology (the paper uses the hypercube).
     pub topology: Topology,
-    /// The underlying CLK engine configuration (kick strategy etc.).
-    /// Each node derives its own RNG seed from `seed` and its id.
+    /// The underlying CLK engine configuration (kick strategy,
+    /// candidate-list kind, kick workers, etc.). Each node derives its
+    /// own RNG seed from `seed` and its id; everything else — notably
+    /// `clk.candidates` / `clk.neighbor_k`, which the candidate lists
+    /// are built from (see [`crate::build_neighbors`]) — must be
+    /// identical across the cluster for nodes to agree.
     pub clk: ChainedLkConfig,
     /// Perturbation strength divisor `c_v` (paper default 64).
     pub c_v: u32,

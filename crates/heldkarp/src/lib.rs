@@ -25,6 +25,6 @@ pub mod ascent;
 pub mod mst;
 pub mod onetree;
 
-pub use alpha::alpha_candidate_lists;
+pub use alpha::{alpha_candidate_lists, alpha_lists_from_tree};
 pub use ascent::{held_karp_bound, AscentConfig, AscentResult};
 pub use onetree::OneTree;

@@ -2,10 +2,76 @@
 //! true lower bound, is deterministic, and the α-lists are well-formed
 //! on every generator family.
 
-use heldkarp::{alpha_candidate_lists, held_karp_bound, AscentConfig, OneTree};
+use heldkarp::mst::shifted_dist;
+use heldkarp::{alpha_candidate_lists, alpha_lists_from_tree, held_karp_bound, AscentConfig, OneTree};
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, SeedableRng};
-use tsp_core::{generate, Tour};
+use tsp_core::{generate, Instance, Tour};
+
+/// Brute-force β(i,j): the costliest shifted edge on the MST path from
+/// `i` to `j`, found by a fresh DFS per pair — O(n) per query, O(n³)
+/// over all pairs, against which the production one-DFS-per-row sweep
+/// is checked.
+fn beta_by_dfs(adj: &[Vec<(usize, i64)>], i: usize, j: usize) -> i64 {
+    let mut stack = vec![(i, usize::MAX, i64::MIN)];
+    while let Some((v, from, max_w)) = stack.pop() {
+        if v == j {
+            return max_w;
+        }
+        for &(u, w) in &adj[v] {
+            if u != from {
+                stack.push((u, v, max_w.max(w)));
+            }
+        }
+    }
+    panic!("MST (excluding the special node) is disconnected: no path {i} -> {j}");
+}
+
+/// Reference α-lists computed the slow, obvious way.
+fn alpha_reference(inst: &Instance, pi: &[i64], tree: &OneTree, k: usize) -> Vec<Vec<u32>> {
+    let n = inst.len();
+    let s = tree.special;
+    // MST adjacency over V \ {s}: one (v, parent) edge per non-special
+    // vertex whose parent is neither itself (root) nor s.
+    let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if v == s {
+            continue;
+        }
+        let p = tree.parent[v] as usize;
+        if p != v && p != s {
+            let w = shifted_dist(inst, pi, v, p);
+            adj[v].push((p, w));
+            adj[p].push((v, w));
+        }
+    }
+    // Second-cheapest shifted edge at the special node.
+    let mut at_s: Vec<i64> = (0..n)
+        .filter(|&v| v != s)
+        .map(|v| shifted_dist(inst, pi, s, v))
+        .collect();
+    at_s.sort_unstable();
+    let c2 = at_s[1];
+
+    (0..n)
+        .map(|i| {
+            let mut cand: Vec<(i64, i64, u32)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let c = shifted_dist(inst, pi, i, j);
+                    let a = if i == s || j == s {
+                        (c - c2).max(0)
+                    } else {
+                        (c - beta_by_dfs(&adj, i, j)).max(0)
+                    };
+                    (a, c, j as u32)
+                })
+                .collect();
+            cand.sort_unstable();
+            cand.into_iter().take(k).map(|(_, _, j)| j).collect()
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -39,6 +105,27 @@ proptest! {
             let res = held_karp_bound(&inst, &cfg);
             prop_assert!(res.bound >= prev, "bound dropped: {} < {prev} at {iters} iterations", res.bound);
             prev = res.bound;
+        }
+    }
+
+    /// The production α-lists (one DFS sweep per row over the MST)
+    /// match a brute-force O(n³) reference that recomputes β(i,j) as
+    /// the max-cost MST-path edge via a fresh DFS per pair — including
+    /// the special node's `α(s,j) = (c(s,j) − c₂)⁺` row, in both
+    /// directions (row of `s`, and `s` as a candidate of other rows).
+    #[test]
+    fn alpha_lists_match_bruteforce_beta_reference(n in 8usize..28, seed in any::<u64>()) {
+        let inst = generate::uniform(n, 10_000.0, seed);
+        let cfg = AscentConfig { max_iterations: 25, ..Default::default() };
+        let res = held_karp_bound(&inst, &cfg);
+        let k = 5.min(n - 1);
+        let got = alpha_lists_from_tree(&inst, &res.pi, &res.one_tree, k);
+        let want = alpha_reference(&inst, &res.pi, &res.one_tree, k);
+        for (i, row) in want.iter().enumerate() {
+            prop_assert_eq!(
+                got.of(i), &row[..],
+                "α row {} diverges (special node {})", i, res.one_tree.special
+            );
         }
     }
 

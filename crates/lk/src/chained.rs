@@ -17,10 +17,11 @@
 
 use obs_api::{Counter, Histogram, Obs};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use tsp_core::{Instance, NeighborLists, Tour, TourOps, TourRep, TwoLevelList};
 
 use crate::budget::{Budget, Stopwatch, Trace};
+use crate::candidates::CandidateKind;
 use crate::construct::{construct, Construction};
 use crate::kick::{kick, KickStrategy};
 use crate::lin_kernighan::{lk_pass, lin_kernighan, LinKernighan, LkConfig};
@@ -39,6 +40,11 @@ pub struct ChainedLkConfig {
     pub construction: Construction,
     /// Candidate list width.
     pub neighbor_k: usize,
+    /// How the candidate lists are constructed (k-NN, α-nearness, or
+    /// hybrid). Part of the wire-level config of a distributed run:
+    /// every node builds its lists from this knob, so all nodes must
+    /// agree on it (see [`ChainedLkConfig::build_neighbors`]).
+    pub candidates: CandidateKind,
     /// Also run an Or-opt pass after each LK pass (cheap extra
     /// neighborhood; off in plain linkern, on by default here).
     pub use_or_opt: bool,
@@ -49,6 +55,15 @@ pub struct ChainedLkConfig {
     /// (seed 4242 uniform sweep; see EXPERIMENTS.md): break-even near
     /// 20k cities, two-level clearly ahead from 50k.
     pub tl_threshold: usize,
+    /// Speculative kick workers per chained iteration. `1` (the
+    /// default) keeps the serial chain bit-identical to the historical
+    /// engine; `W > 1` clones the tour W times per step, applies an
+    /// independent kick + local re-optimization to each clone on scoped
+    /// threads, and adopts the best outcome with ties broken by worker
+    /// index. Deterministic for fixed `(seed, W)`: per-worker RNG seeds
+    /// are drawn from the engine RNG in worker order before any thread
+    /// runs, so thread scheduling cannot reorder the stream.
+    pub kick_workers: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -60,10 +75,23 @@ impl Default for ChainedLkConfig {
             lk: LkConfig::default(),
             construction: Construction::QuickBoruvka,
             neighbor_k: 10,
+            candidates: CandidateKind::Knn,
             use_or_opt: true,
             tl_threshold: 50_000,
+            kick_workers: 1,
             seed: 0,
         }
+    }
+}
+
+impl ChainedLkConfig {
+    /// Build the candidate lists this configuration asks for
+    /// ([`ChainedLkConfig::candidates`] of width
+    /// [`ChainedLkConfig::neighbor_k`]). Deterministic in the config
+    /// alone: distributed nodes that share the wire-level config build
+    /// bit-identical lists without exchanging them.
+    pub fn build_neighbors(&self, inst: &Instance) -> NeighborLists {
+        self.candidates.build(inst, self.neighbor_k)
     }
 }
 
@@ -108,6 +136,21 @@ pub struct ChainedLk<'a> {
     rng: SmallRng,
     obs: Obs,
     probes: Probes,
+    /// Persistent per-worker search state for speculative parallel
+    /// kicks; empty when `cfg.kick_workers <= 1`.
+    workers: Vec<WorkerSlot<'a>>,
+    /// Total kick attempts so far (one per serial step, `W` per
+    /// parallel step) — lets the budget loops charge parallel steps for
+    /// the work they actually did.
+    kicks_spent: u64,
+}
+
+/// One speculative kick worker's reusable search state (don't-look
+/// bits, LK scratch). Kept across steps so parallel iterations stay
+/// allocation-free on the hot path, like the serial engine.
+struct WorkerSlot<'a> {
+    opt: Optimizer<'a>,
+    lk: LinKernighan,
 }
 
 /// Metric handles resolved once at attach time so the hot loop never
@@ -124,10 +167,17 @@ struct Probes {
     /// Kicks attempted / kicks whose result was kept.
     c_kicks: Counter,
     c_accepts: Counter,
+    /// Per-worker kick counters (`clk.worker<i>.kicks`), one per
+    /// speculative kick worker; empty for the serial engine.
+    c_worker_kicks: Vec<Counter>,
+    /// Parallel steps whose adopted result came from worker `i`
+    /// (`clk.worker<i>.wins`).
+    c_worker_wins: Vec<Counter>,
 }
 
 impl Probes {
-    fn resolve(obs: &Obs) -> Self {
+    fn resolve(obs: &Obs, workers: usize) -> Self {
+        let per_worker = if workers > 1 { workers } else { 0 };
         Probes {
             h_call_ns: obs.histogram("clk.call.ns"),
             h_call_gain: obs.histogram("clk.call.gain"),
@@ -135,8 +185,41 @@ impl Probes {
             h_construct_ns: obs.histogram("clk.construct.ns"),
             c_kicks: obs.counter("clk.kicks"),
             c_accepts: obs.counter("clk.accepts"),
+            c_worker_kicks: (0..per_worker)
+                .map(|w| obs.counter(&format!("clk.worker{w}.kicks")))
+                .collect(),
+            c_worker_wins: (0..per_worker)
+                .map(|w| obs.counter(&format!("clk.worker{w}.wins")))
+                .collect(),
         }
     }
+}
+
+/// LK-optimize `tour` around the given seed cities with explicit search
+/// state — the body of [`ChainedLk::optimize_around`], factored out so
+/// speculative kick workers can run it against their own
+/// [`Optimizer`]/[`LinKernighan`] slots.
+fn optimize_around_with<T: TourOps>(
+    opt: &mut Optimizer<'_>,
+    lk: &mut LinKernighan,
+    use_or_opt: bool,
+    tour: &mut T,
+    seeds: &[usize],
+) -> i64 {
+    opt.deactivate_all();
+    for &s in seeds {
+        opt.activate(s);
+        opt.activate(tour.next(s));
+        opt.activate(tour.prev(s));
+    }
+    let mut gain = lk_pass(lk, opt, tour);
+    if use_or_opt {
+        for &s in seeds {
+            opt.activate(s);
+        }
+        gain += or_opt_pass(opt, tour);
+    }
+    gain
 }
 
 impl<'a> ChainedLk<'a> {
@@ -145,7 +228,17 @@ impl<'a> ChainedLk<'a> {
     pub fn new(inst: &'a Instance, neighbors: &'a NeighborLists, cfg: ChainedLkConfig) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let obs = Obs::disabled();
-        let probes = Probes::resolve(&obs);
+        let probes = Probes::resolve(&obs, cfg.kick_workers);
+        let workers = if cfg.kick_workers > 1 {
+            (0..cfg.kick_workers)
+                .map(|_| WorkerSlot {
+                    opt: Optimizer::new(inst, neighbors),
+                    lk: LinKernighan::new(cfg.lk.clone()),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         ChainedLk {
             inst,
             neighbors,
@@ -155,6 +248,8 @@ impl<'a> ChainedLk<'a> {
             rng,
             obs,
             probes,
+            workers,
+            kicks_spent: 0,
         }
     }
 
@@ -163,7 +258,7 @@ impl<'a> ChainedLk<'a> {
     /// Instrumentation never touches the RNG, so attaching cannot
     /// change the search trajectory.
     pub fn attach_obs(&mut self, obs: Obs) {
-        self.probes = Probes::resolve(&obs);
+        self.probes = Probes::resolve(&obs, self.cfg.kick_workers);
         self.obs = obs;
     }
 
@@ -217,31 +312,28 @@ impl<'a> ChainedLk<'a> {
     /// paper's engine re-optimizes locally; this is what makes chained
     /// iterations cheap).
     pub fn optimize_around<T: TourOps>(&mut self, tour: &mut T, seeds: &[usize]) -> i64 {
-        self.opt.deactivate_all();
-        for &s in seeds {
-            self.opt.activate(s);
-            self.opt.activate(tour.next(s));
-            self.opt.activate(tour.prev(s));
-        }
-        let mut gain = lk_pass(&mut self.lk, &mut self.opt, tour);
-        if self.cfg.use_or_opt {
-            for &s in seeds {
-                self.opt.activate(s);
-            }
-            gain += or_opt_pass(&mut self.opt, tour);
-        }
-        gain
+        optimize_around_with(&mut self.opt, &mut self.lk, self.cfg.use_or_opt, tour, seeds)
     }
 
     /// One chained iteration on `tour` (assumed LK-optimal, of length
     /// `current_len`): kick, re-optimize around the kick, keep iff not
     /// worse. Returns the new length.
     ///
+    /// With `kick_workers = 1` this is the historical serial step —
+    /// bit-identical results for a given seed. With `W > 1` it runs `W`
+    /// speculative kicks concurrently and adopts the best (see
+    /// [`ChainedLk::chain_step_parallel`]); either way one call charges
+    /// the kick budget for every attempt it made.
+    ///
     /// Length bookkeeping is exact-delta (`kick.delta` minus the
     /// optimization gain); the tour is never re-measured, so a chained
     /// iteration costs only the local search plus an O(n) order
     /// snapshot for the revert path.
-    pub fn chain_step<R: TourRep>(&mut self, tour: &mut R, current_len: i64) -> i64 {
+    pub fn chain_step<R: TourRep + Send + Sync>(&mut self, tour: &mut R, current_len: i64) -> i64 {
+        if self.cfg.kick_workers > 1 {
+            return self.chain_step_parallel(tour, current_len);
+        }
+        self.kicks_spent += 1;
         let t = self.obs.timer();
         let saved = tour.to_order();
         let k = match kick(self.cfg.kick, self.inst, tour, self.neighbors, &mut self.rng) {
@@ -262,11 +354,95 @@ impl<'a> ChainedLk<'a> {
         }
     }
 
+    /// One speculative parallel iteration: every worker clones the
+    /// tour, applies its own kick + local re-optimization on a scoped
+    /// thread, and the engine adopts the best resulting tour iff it is
+    /// no worse than `current_len`, ties broken by the lowest worker
+    /// index.
+    ///
+    /// Deterministic for fixed `(seed, W)`: the per-worker RNG seeds
+    /// are drawn from the engine RNG *in worker order before any thread
+    /// starts* — the step's only use of the main RNG — and the adoption
+    /// rule `min(new_len, worker_index)` is scheduling-independent.
+    fn chain_step_parallel<R: TourRep + Send + Sync>(
+        &mut self,
+        tour: &mut R,
+        current_len: i64,
+    ) -> i64 {
+        let w = self.workers.len();
+        self.kicks_spent += w as u64;
+        let t = self.obs.timer();
+        let worker_seeds: Vec<u64> = (0..w).map(|_| self.rng.gen()).collect();
+        let strategy = self.cfg.kick;
+        let use_or_opt = self.cfg.use_or_opt;
+        let inst = self.inst;
+        let neighbors = self.neighbors;
+        let shared: &R = tour;
+        let workers = &mut self.workers;
+        let outcomes: Vec<Option<(i64, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .zip(worker_seeds)
+                .map(|(slot, seed)| {
+                    scope.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(seed);
+                        let mut cand = shared.clone();
+                        let k = kick(strategy, inst, &mut cand, neighbors, &mut rng)?;
+                        let gain = optimize_around_with(
+                            &mut slot.opt,
+                            &mut slot.lk,
+                            use_or_opt,
+                            &mut cand,
+                            &k.cities,
+                        );
+                        let new_len = current_len + k.delta - gain;
+                        debug_assert_eq!(new_len, cand.tour_length(inst));
+                        Some((new_len, cand))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kick worker panicked"))
+                .collect()
+        });
+        let mut best: Option<(i64, usize, R)> = None;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let Some((len, cand)) = outcome else { continue };
+            self.probes.c_kicks.incr();
+            self.probes.c_worker_kicks[i].incr();
+            // Strict `<` keeps the earlier (lower-index) worker on ties.
+            if best.as_ref().is_none_or(|&(bl, _, _)| len < bl) {
+                best = Some((len, i, cand));
+            }
+        }
+        t.observe_into(&self.probes.h_step_ns);
+        match best {
+            Some((len, i, cand)) if len <= current_len => {
+                self.probes.c_accepts.incr();
+                self.probes.c_worker_wins[i].incr();
+                *tour = cand;
+                len
+            }
+            _ => current_len,
+        }
+    }
+
+    /// Kick attempts charged so far (one per serial step, `W` per
+    /// parallel step). Monotone over the engine's lifetime.
+    pub fn kicks_spent(&self) -> u64 {
+        self.kicks_spent
+    }
+
     /// One full CLK call on an array tour via representation `R`:
-    /// convert, fully optimize, run `kicks` chained iterations (bailing
-    /// out as soon as `stop(len)` says so), convert back. Returns the
-    /// final length.
-    pub fn clk_call<R: TourRep>(
+    /// convert, fully optimize, spend `kicks` kick attempts on chained
+    /// iterations (bailing out as soon as `stop(len)` says so), convert
+    /// back. Returns the final length.
+    ///
+    /// The budget counts *attempts*: a serial step spends 1, a parallel
+    /// step spends `kick_workers` — so a worker pool explores the same
+    /// number of kicks faster instead of multiplying the work.
+    pub fn clk_call<R: TourRep + Send + Sync>(
         &mut self,
         tour: &mut Tour,
         kicks: u64,
@@ -276,19 +452,24 @@ impl<'a> ChainedLk<'a> {
         let mut rep = R::from_tour(tour);
         let gain = self.optimize(&mut rep);
         let mut len = before - gain;
-        for _ in 0..kicks {
+        let mut spent = 0u64;
+        while spent < kicks {
             if stop(len) {
                 break;
             }
+            let before_spend = self.kicks_spent;
             len = self.chain_step(&mut rep, len);
+            spent += self.kicks_spent - before_spend;
         }
         *tour = rep.to_tour();
         len
     }
 
     /// Full standalone CLK run on representation `R`: construct,
-    /// optimize, chain kicks until the budget is exhausted.
-    pub fn run_rep<R: TourRep>(&mut self, budget: &Budget) -> ClkResult {
+    /// optimize, chain kicks until the budget is exhausted. Like
+    /// [`ChainedLk::clk_call`], the kick budget counts attempts, so the
+    /// reported `kicks` grows by `kick_workers` per parallel step.
+    pub fn run_rep<R: TourRep + Send + Sync>(&mut self, budget: &Budget) -> ClkResult {
         let watch = Stopwatch::start();
         let start = self.construct_tour();
         let before = start.length(self.inst);
@@ -299,8 +480,9 @@ impl<'a> ChainedLk<'a> {
         trace.record(watch.secs(), kicks, best_len);
 
         while !budget.exhausted(watch.elapsed(), kicks, best_len) {
+            let before_spend = self.kicks_spent;
             let new_len = self.chain_step(&mut rep, best_len);
-            kicks += 1;
+            kicks += self.kicks_spent - before_spend;
             if new_len < best_len {
                 best_len = new_len;
                 trace.record(watch.secs(), kicks, best_len);
@@ -545,6 +727,92 @@ mod tests {
         assert_eq!(a.length, b.length);
         assert_eq!(a.tour.order(), b.tour.order());
         assert_eq!(a.kicks, b.kicks);
+    }
+
+    #[test]
+    fn parallel_kicks_deterministic_for_fixed_seed_and_workers() {
+        let inst = generate::uniform(300, 10_000.0, 81);
+        let nl = NeighborLists::build(&inst, 10);
+        for workers in [2usize, 4] {
+            let cfg = ChainedLkConfig {
+                seed: 17,
+                kick_workers: workers,
+                ..Default::default()
+            };
+            let mut a = ChainedLk::new(&inst, &nl, cfg.clone());
+            let mut b = ChainedLk::new(&inst, &nl, cfg);
+            let ra = a.run(&Budget::kicks(40));
+            let rb = b.run(&Budget::kicks(40));
+            assert_eq!(ra.length, rb.length, "workers={workers}");
+            assert_eq!(ra.tour.order(), rb.tour.order(), "workers={workers}");
+            assert_eq!(ra.kicks, rb.kicks, "workers={workers}");
+            assert!(ra.tour.is_valid());
+            assert_eq!(ra.tour.length(&inst), ra.length);
+        }
+    }
+
+    #[test]
+    fn parallel_kicks_agree_across_representations() {
+        // The adoption rule min(len, worker index) is representation-
+        // independent, so both tour structures must produce identical
+        // full runs under a worker pool too.
+        let inst = generate::uniform(250, 10_000.0, 82);
+        let nl = NeighborLists::build(&inst, 10);
+        let cfg = ChainedLkConfig {
+            seed: 23,
+            kick_workers: 3,
+            ..Default::default()
+        };
+        let mut array = ChainedLk::new(&inst, &nl, cfg.clone());
+        let mut twolevel = ChainedLk::new(&inst, &nl, cfg);
+        let a = array.run_rep::<Tour>(&Budget::kicks(45));
+        let b = twolevel.run_rep::<TwoLevelList>(&Budget::kicks(45));
+        assert_eq!(a.length, b.length);
+        assert_eq!(a.tour.order(), b.tour.order());
+        assert_eq!(a.kicks, b.kicks);
+    }
+
+    #[test]
+    fn workers_one_is_bit_identical_to_serial_engine() {
+        // kick_workers = 1 must take the exact serial code path: same
+        // tour, same length, same kick count as the default config.
+        let inst = generate::uniform(200, 10_000.0, 83);
+        let nl = NeighborLists::build(&inst, 10);
+        for seed in [1u64, 5, 9] {
+            let serial_cfg = ChainedLkConfig {
+                seed,
+                ..Default::default()
+            };
+            assert_eq!(serial_cfg.kick_workers, 1, "default must stay serial");
+            let one_cfg = ChainedLkConfig {
+                seed,
+                kick_workers: 1,
+                ..Default::default()
+            };
+            let a = ChainedLk::new(&inst, &nl, serial_cfg).run(&Budget::kicks(50));
+            let b = ChainedLk::new(&inst, &nl, one_cfg).run(&Budget::kicks(50));
+            assert_eq!(a.length, b.length, "seed {seed}");
+            assert_eq!(a.tour.order(), b.tour.order(), "seed {seed}");
+            assert_eq!(a.kicks, b.kicks, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_steps_charge_the_kick_budget_per_attempt() {
+        let inst = generate::uniform(150, 10_000.0, 84);
+        let nl = NeighborLists::build(&inst, 10);
+        let cfg = ChainedLkConfig {
+            seed: 2,
+            kick_workers: 4,
+            ..Default::default()
+        };
+        let mut clk = ChainedLk::new(&inst, &nl, cfg);
+        let res = clk.run(&Budget::kicks(40));
+        // 40 attempts at 4 per step = exactly 10 parallel steps.
+        assert_eq!(res.kicks, 40);
+        assert_eq!(clk.kicks_spent(), 40);
+        assert!(res.tour.is_valid());
+        assert_eq!(res.tour.length(&inst), res.length);
     }
 
     #[test]

@@ -121,19 +121,7 @@ pub fn select_kick_cities<T: TourOps, R: Rng>(
             KickStrategy::Close(beta_permille) => {
                 let v = rng.gen_range(0..n);
                 let subset_size = ((n as u64 * beta_permille as u64) / 1000).max(6) as usize;
-                // Sample the subset, keep the six closest to v by the
-                // real metric distance.
-                let mut six: Vec<(i64, usize)> = Vec::with_capacity(subset_size);
-                for _ in 0..subset_size {
-                    let c = rng.gen_range(0..n);
-                    if c == v {
-                        continue;
-                    }
-                    six.push((inst.dist(v, c), c));
-                }
-                six.sort_unstable();
-                six.truncate(6);
-                six.dedup_by_key(|e| e.1);
+                let six = close_pool(inst, v, n, subset_size, rng);
                 if six.len() < 3 {
                     continue;
                 }
@@ -168,6 +156,34 @@ pub fn select_kick_cities<T: TourOps, R: Rng>(
     None
 }
 
+/// The Close strategy's candidate pool: sample `subset_size` random
+/// cities, keep the (up to) six *distinct* ones nearest to `v` by the
+/// real metric distance. Duplicate draws are deduplicated before the
+/// pool is truncated to six — truncating first let repeated samples of
+/// the nearest cities crowd out genuinely distinct ones and shrink the
+/// pool below six.
+fn close_pool<R: Rng>(
+    inst: &Instance,
+    v: usize,
+    n: usize,
+    subset_size: usize,
+    rng: &mut R,
+) -> Vec<(i64, usize)> {
+    let mut six: Vec<(i64, usize)> = Vec::with_capacity(subset_size);
+    for _ in 0..subset_size {
+        let c = rng.gen_range(0..n);
+        if c == v {
+            continue;
+        }
+        six.push((inst.dist(v, c), c));
+    }
+    // Sorted by (dist, city), duplicate samples of a city are adjacent.
+    six.sort_unstable();
+    six.dedup_by_key(|e| e.1);
+    six.truncate(6);
+    six
+}
+
 /// Order four distinct cities along the tour, starting from the first.
 fn tour_order_cities<T: TourOps>(tour: &T, mut cs: [usize; 4]) -> [usize; 4] {
     // Insertion sort of cs[1..] by "comes earlier when walking forward
@@ -185,7 +201,10 @@ fn tour_order_cities<T: TourOps>(tour: &T, mut cs: [usize; 4]) -> [usize; 4] {
 
 /// Apply the double-bridge 4-exchange that cuts the tour after each of
 /// the four cities and reconnects the quarters `A B C D` as `A C B D`,
-/// expressed as up to four 2-opt flips. Returns the exact length delta.
+/// expressed as up to four 2-opt flips. Returns the exact length delta,
+/// or `None` — leaving the tour untouched — when every quarter between
+/// consecutive cuts is empty (only possible for n = 4) and no 4-exchange
+/// exists. A `Some` result always means at least one edge changed.
 ///
 /// `cities` must be distinct and ordered along the tour (as returned by
 /// [`select_kick_cities`]). The reconnection is invariant under
@@ -195,7 +214,7 @@ pub fn double_bridge_by_cities<T: TourOps>(
     inst: &Instance,
     tour: &mut T,
     cities: [usize; 4],
-) -> i64 {
+) -> Option<i64> {
     let mut x = cities;
     // The decomposition below needs next(x3) != x0 (a non-empty quarter
     // after the last cut). At least one of the four quarters is
@@ -205,7 +224,7 @@ pub fn double_bridge_by_cities<T: TourOps>(
         x.rotate_left(1);
         tries += 1;
         if tries == 4 {
-            return 0;
+            return None;
         }
     }
     let nx = [
@@ -241,11 +260,14 @@ pub fn double_bridge_by_cities<T: TourOps>(
             && tour.has_edge(x[2], nx[0])
             && tour.has_edge(x[1], nx[3])
     );
-    delta
+    Some(delta)
 }
 
 /// Apply one kick of the given strategy. Returns the cut cities and the
-/// exact length delta, or `None` if the tour was too small.
+/// exact length delta, or `None` if the tour was too small or the
+/// 4-exchange degenerated to a no-op. A reported kick always changed at
+/// least one tour edge, so acceptance counters and kick-strength
+/// histograms never record phantom perturbations.
 pub fn kick<T: TourOps, R: Rng>(
     strategy: KickStrategy,
     inst: &Instance,
@@ -254,7 +276,7 @@ pub fn kick<T: TourOps, R: Rng>(
     rng: &mut R,
 ) -> Option<Kick> {
     let cities = select_kick_cities(strategy, inst, tour, neighbors, rng)?;
-    let delta = double_bridge_by_cities(inst, tour, cities);
+    let delta = double_bridge_by_cities(inst, tour, cities)?;
     Some(Kick { cities, delta })
 }
 
@@ -383,7 +405,8 @@ mod tests {
 
             let mut generic = base.clone();
             let before = base.length(&inst);
-            let delta = double_bridge_by_cities(&inst, &mut generic, cs);
+            let delta =
+                double_bridge_by_cities(&inst, &mut generic, cs).expect("n=60 cuts degenerate");
             assert_eq!(generic.length(&inst), before + delta, "trial {trial}");
 
             let want: std::collections::HashSet<(usize, usize)> = reference
@@ -395,6 +418,70 @@ mod tests {
                 .map(|(a, b)| (a.min(b), a.max(b)))
                 .collect();
             assert_eq!(want, got, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn close_pool_dedups_before_truncating() {
+        // Regression: the pool used to be truncated to six entries
+        // *before* deduplication, so duplicate draws of the nearest
+        // cities shrank the "six nearest" pool below six distinct ones.
+        let inst = generate::uniform(10, 1_000.0, 54);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut saw_duplicates = false;
+        for _ in 0..50 {
+            // Replay the exact sampling stream to know what was drawn.
+            let mut replay = rng.clone();
+            let mut sampled: Vec<(i64, usize)> = Vec::new();
+            for _ in 0..30 {
+                let c = replay.gen_range(0..10);
+                if c != 3 {
+                    sampled.push((inst.dist(3, c), c));
+                }
+            }
+            let raw = sampled.len();
+            sampled.sort_unstable();
+            sampled.dedup_by_key(|e| e.1);
+            saw_duplicates |= sampled.len() < raw;
+            sampled.truncate(6);
+
+            let pool = close_pool(&inst, 3, 10, 30, &mut rng);
+            // The pool is the six nearest *distinct* sampled cities.
+            assert_eq!(pool, sampled);
+            let distinct: std::collections::HashSet<usize> =
+                pool.iter().map(|e| e.1).collect();
+            assert_eq!(distinct.len(), pool.len(), "pool contains duplicates");
+            assert_eq!(pool.len(), sampled.len().min(6));
+        }
+        assert!(saw_duplicates, "sampling never collided; test is vacuous");
+    }
+
+    #[test]
+    fn degenerate_double_bridge_is_reported_not_applied() {
+        // n = 4 with all four cities cut: every quarter is empty, no
+        // 4-exchange exists. The call must return None and leave the
+        // tour untouched instead of reporting a zero-delta "kick".
+        let inst = generate::uniform(4, 1_000.0, 55);
+        let mut tour = Tour::identity(4);
+        let before = TourOps::to_order(&tour);
+        assert_eq!(double_bridge_by_cities(&inst, &mut tour, [0, 1, 2, 3]), None);
+        assert_eq!(TourOps::to_order(&tour), before, "no-op modified the tour");
+    }
+
+    #[test]
+    fn reported_kicks_change_at_least_one_edge() {
+        let (inst, nl, mut tour) = setup(64);
+        let mut rng = SmallRng::seed_from_u64(12);
+        for strategy in KickStrategy::ALL {
+            for _ in 0..25 {
+                let before: std::collections::HashSet<(usize, usize)> =
+                    tour.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
+                if kick(strategy, &inst, &mut tour, &nl, &mut rng).is_some() {
+                    let after: std::collections::HashSet<(usize, usize)> =
+                        tour.edges().map(|(a, b)| (a.min(b), a.max(b))).collect();
+                    assert_ne!(before, after, "{strategy:?} reported a no-op kick");
+                }
+            }
         }
     }
 

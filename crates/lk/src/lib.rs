@@ -12,6 +12,8 @@
 //! - [`lin_kernighan`] — the variable-depth LK search.
 //! - [`kick`] — the four double-bridge kicking strategies of §2.1:
 //!   Random, Geometric, Close, Random-walk.
+//! - [`candidates`] — candidate-list construction for the engine:
+//!   k-NN, Helsgaun α-nearness, or a hybrid of the two.
 //! - [`chained`] — the Chained Lin-Kernighan driver (kick → re-optimize
 //!   → accept/revert), with time / kick / target-length budgets and
 //!   convergence traces.
@@ -25,6 +27,7 @@
 //! allocation-free on their hot paths (buffers live in [`Optimizer`]).
 
 pub mod budget;
+pub mod candidates;
 pub mod chained;
 pub mod construct;
 pub mod kick;
@@ -39,6 +42,7 @@ pub mod two_opt;
 pub mod two_opt_tl;
 
 pub use budget::{Budget, Stopwatch, Trace};
+pub use candidates::{build_candidate_lists, CandidateKind};
 pub use chained::{ChainedLk, ChainedLkConfig, ClkEngine, ClkResult};
 pub use kick::{Kick, KickStrategy};
 pub use lin_kernighan::LkConfig;

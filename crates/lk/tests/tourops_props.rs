@@ -185,6 +185,33 @@ proptest! {
         prop_assert_eq!(ra.kicks, rb.kicks);
         prop_assert_eq!(TourOps::to_order(&ra.tour), TourOps::to_order(&rb.tour));
     }
+
+    /// Speculative parallel kicks keep the cross-representation and
+    /// fixed-(seed, W) determinism contracts: both representations
+    /// produce the same run, and repeating a run reproduces it exactly.
+    #[test]
+    fn parallel_chained_lk_runs_agree(
+        n in 40usize..160,
+        seed in any::<u64>(),
+        workers in 2usize..5,
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed ^ 0xD7);
+        let nl = NeighborLists::build(&inst, 8);
+        let cfg = ChainedLkConfig {
+            seed,
+            kick_workers: workers,
+            ..Default::default()
+        };
+        let budget = Budget::kicks(24);
+        let ra = ChainedLk::new(&inst, &nl, cfg.clone()).run_rep::<Tour>(&budget);
+        let rb = ChainedLk::new(&inst, &nl, cfg.clone()).run_rep::<TwoLevelList>(&budget);
+        let rc = ChainedLk::new(&inst, &nl, cfg).run_rep::<Tour>(&budget);
+        prop_assert_eq!(ra.length, rb.length);
+        prop_assert_eq!(ra.kicks, rb.kicks);
+        prop_assert_eq!(TourOps::to_order(&ra.tour), TourOps::to_order(&rb.tour));
+        prop_assert_eq!(ra.length, rc.length);
+        prop_assert_eq!(TourOps::to_order(&ra.tour), TourOps::to_order(&rc.tour));
+    }
 }
 
 proptest! {

@@ -137,7 +137,9 @@ impl Grid {
     }
 
     /// The `k` nearest cities to city `query` (excluding itself), by
-    /// unrounded squared Euclidean distance, closest first.
+    /// unrounded squared Euclidean distance, closest first, ties broken
+    /// by city id — the `(dist, id)` order every candidate-list builder
+    /// agrees on.
     pub fn k_nearest(&self, inst: &Instance, query: usize, k: usize) -> Vec<u32> {
         let p = inst.point(query);
         let max_ring = self.cols.max(self.rows);
@@ -160,7 +162,11 @@ impl Grid {
                     dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
                     let dk = dists[k - 1];
                     let safe = ring as f64 * safe_cell;
-                    if dk <= safe * safe {
+                    // Strict `<`: at exactly the safe radius a further
+                    // ring can still hold a city tied on distance whose
+                    // lower id must win the (dist, id) tie-break shared
+                    // with the k-d tree and brute-force builders.
+                    if dk < safe * safe {
                         break;
                     }
                 }

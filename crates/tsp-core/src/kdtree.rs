@@ -151,7 +151,10 @@ impl KdTree {
     }
 
     /// The `k` nearest cities to city `query` (excluding itself),
-    /// closest first. Exact.
+    /// closest first. Exact, with ties broken by city id: the result is
+    /// the first `k` entries of all cities sorted by `(distance, id)` —
+    /// the same order every candidate-list builder uses, so fixed-seed
+    /// runs do not depend on which spatial index built the lists.
     pub fn k_nearest(&self, query: usize, k: usize) -> Vec<u32> {
         let q = self.pts[query];
         // Max-heap of (dist, city) capped at k.
@@ -178,12 +181,15 @@ impl KdTree {
                     continue;
                 }
                 let d = self.pts[c as usize].sq_dist(&q);
+                let cand = (OrdF64(d), c);
                 if heap.len() < k {
-                    heap.push((OrdF64(d), c));
-                } else if let Some(&(OrdF64(worst), _)) = heap.peek() {
-                    if d < worst {
+                    heap.push(cand);
+                } else if let Some(&top) = heap.peek() {
+                    // Full-tuple comparison: at equal distance the lower
+                    // id wins, independent of traversal order.
+                    if cand < top {
                         heap.pop();
-                        heap.push((OrdF64(d), c));
+                        heap.push(cand);
                     }
                 }
             }
@@ -193,10 +199,12 @@ impl KdTree {
         let (near, far) = if qv <= n.split { (n.lo, n.hi) } else { (n.hi, n.lo) };
         self.knn_search(near, q, query, k, heap);
         let plane = qv - n.split;
+        // `<=`: a far-side city at exactly the current worst distance can
+        // still displace it on id, so equality must not prune.
         let need_far = heap.len() < k
             || heap
                 .peek()
-                .is_none_or(|&(OrdF64(worst), _)| plane * plane < worst);
+                .is_none_or(|&(OrdF64(worst), _)| plane * plane <= worst);
         if need_far {
             self.knn_search(far, q, query, k, heap);
         }
@@ -277,6 +285,35 @@ mod tests {
             let gd: Vec<f64> = got.iter().map(|&c| inst.point(c as usize).sq_dist(&qp)).collect();
             let bd: Vec<f64> = brute.iter().map(|&c| inst.point(c as usize).sq_dist(&qp)).collect();
             assert_eq!(gd, bd, "query {q}");
+        }
+    }
+
+    #[test]
+    fn knn_ties_broken_by_city_id() {
+        // A lattice has massive distance ties (4 cities at d, 4 at d√2,
+        // ...); the ids returned must be exactly the (dist, id)-sorted
+        // prefix, not whatever order the tree traversal happened to
+        // find them in.
+        let mut pts = Vec::new();
+        for y in 0..12 {
+            for x in 0..12 {
+                pts.push(Point::new(x as f64 * 10.0, y as f64 * 10.0));
+            }
+        }
+        let inst = Instance::new("lattice", pts, Metric::Euc2d);
+        let tree = KdTree::build(&inst);
+        for q in 0..144usize {
+            let qp = inst.point(q);
+            let mut brute: Vec<u32> = (0..144u32).filter(|&c| c as usize != q).collect();
+            brute.sort_by(|&a, &b| {
+                inst.point(a as usize)
+                    .sq_dist(&qp)
+                    .partial_cmp(&inst.point(b as usize).sq_dist(&qp))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            brute.truncate(6);
+            assert_eq!(tree.k_nearest(q, 6), brute, "query {q}");
         }
     }
 

@@ -59,14 +59,29 @@ impl NeighborLists {
         Self::build_with(inst, k, &|c| grid.k_nearest(inst, c, k))
     }
 
-    /// O(n² log n) fallback for explicit-matrix instances, ordered by the
-    /// instance metric itself.
+    /// O(n² log n) fallback, ordered by the instance metric itself for
+    /// explicit matrices and by unrounded squared Euclidean distance for
+    /// geometric instances — the latter matches the `(dist, id)` order
+    /// of the k-d tree and grid queries exactly, so all three builders
+    /// produce identical candidate ids.
     pub fn build_brute_force(inst: &Instance, k: usize) -> Self {
         let n = inst.len();
         let k = k.min(n - 1);
+        let geometric = inst.metric().is_geometric();
         Self::build_with(inst, k, &|c| {
             let mut all: Vec<u32> = (0..n as u32).filter(|&o| o as usize != c).collect();
-            all.sort_by_key(|&o| (inst.dist(c, o as usize), o));
+            if geometric {
+                let p = inst.point(c);
+                all.sort_by(|&a, &b| {
+                    inst.point(a as usize)
+                        .sq_dist(&p)
+                        .partial_cmp(&inst.point(b as usize).sq_dist(&p))
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+            } else {
+                all.sort_by_key(|&o| (inst.dist(c, o as usize), o));
+            }
             all.truncate(k);
             all
         })
@@ -203,13 +218,37 @@ mod tests {
 
     #[test]
     fn kdtree_and_grid_agree_on_distances() {
+        // Stronger than distance agreement: the candidate *ids* must be
+        // identical across the k-d tree, the grid, and brute force —
+        // fixed-seed runs must not depend on the spatial index used.
         let inst = random_instance(150, 8);
         let a = NeighborLists::build(&inst, 6);
         let b = NeighborLists::build_with_grid(&inst, 6);
+        let c3 = NeighborLists::build_brute_force(&inst, 6);
         for c in 0..150 {
-            let da: Vec<i64> = a.of(c).iter().map(|&o| inst.dist(c, o as usize)).collect();
-            let db: Vec<i64> = b.of(c).iter().map(|&o| inst.dist(c, o as usize)).collect();
-            assert_eq!(da, db, "city {c}");
+            assert_eq!(a.of(c), b.of(c), "kdtree vs grid, city {c}");
+            assert_eq!(a.of(c), c3.of(c), "kdtree vs brute, city {c}");
+        }
+    }
+
+    #[test]
+    fn builders_agree_on_ids_under_heavy_ties() {
+        // A lattice is all ties: each city has 4 neighbors at d, 4 at
+        // d√2, 4 at 2d... Every builder must resolve them to the same
+        // (dist, id)-sorted prefix.
+        let mut pts = Vec::new();
+        for y in 0..11 {
+            for x in 0..11 {
+                pts.push(Point::new(x as f64 * 7.0, y as f64 * 7.0));
+            }
+        }
+        let inst = Instance::new("lattice", pts, Metric::Euc2d);
+        let tree = NeighborLists::build(&inst, 6);
+        let grid = NeighborLists::build_with_grid(&inst, 6);
+        let brute = NeighborLists::build_brute_force(&inst, 6);
+        for c in 0..121 {
+            assert_eq!(tree.of(c), brute.of(c), "kdtree vs brute, city {c}");
+            assert_eq!(grid.of(c), brute.of(c), "grid vs brute, city {c}");
         }
     }
 
