@@ -8,6 +8,7 @@ pub mod figure2;
 pub mod figure3;
 pub mod hub_failover;
 pub mod messages;
+pub mod monitor;
 pub mod perf;
 pub mod profile;
 pub mod table1;
@@ -38,6 +39,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "faults" => faults::run(scale),
         "churn" => churn::run(scale),
         "hub-failover" => hub_failover::run(scale),
+        "monitor" => monitor::run(scale),
         "profile" => profile::run(scale),
         "perf" => perf::run(scale),
         _ => return None,
@@ -46,7 +48,7 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
 }
 
 /// All experiment ids in suggested execution order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "table3", "table4", "table5", "table1", "table2", "figure2", "figure3", "messages",
-    "variator", "ablation", "faults", "churn", "hub-failover", "profile", "perf",
+    "variator", "ablation", "faults", "churn", "hub-failover", "monitor", "profile", "perf",
 ];

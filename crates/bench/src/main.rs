@@ -10,7 +10,7 @@
 //! cargo run -p bench -- list
 //! ```
 
-use bench::experiments::{self, churn, hub_failover, perf, profile};
+use bench::experiments::{self, churn, hub_failover, monitor, perf, profile};
 use bench::testbed::Scale;
 
 fn main() {
@@ -29,6 +29,7 @@ fn main() {
             println!("       bench perf [--smoke]   # array vs two-level tour sweep");
             println!("       bench churn [--smoke]  # seeded kill/revive chaos sweep");
             println!("       bench hub-failover [--smoke]  # hub death, election, epoch fencing");
+            println!("       bench monitor [--smoke]  # live mid-run telemetry scrape over TCP");
         }
         "all" => {
             for id in experiments::ALL {
@@ -47,6 +48,10 @@ fn main() {
         "hub-failover" => {
             // Hub-death election sweep; --smoke caps it for CI.
             hub_failover::run_mode(smoke).write().expect("write report");
+        }
+        "monitor" => {
+            // Live telemetry plane end-to-end; --smoke caps it for CI.
+            monitor::run_mode(smoke).write().expect("write report");
         }
         "profile" => {
             let report = match positional.next() {

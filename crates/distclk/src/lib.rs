@@ -35,7 +35,10 @@ pub mod node;
 pub mod perturb;
 
 pub use churn::{run_lockstep_churn, ChurnAction, ChurnSchedule};
-pub use driver::{run_lockstep, run_lockstep_over, run_over_transports, run_threads, DistResult};
+pub use driver::{
+    run_lockstep, run_lockstep_over, run_lockstep_telemetry_over, run_over_transports,
+    run_over_transports_telemetry, run_threads, DistResult, TelemetryAttach,
+};
 pub use node::{DistConfig, NodeDriver, NodeEvent, NodeResult};
 pub use perturb::{PerturbAction, Perturbator};
 

@@ -1,9 +1,11 @@
 //! The per-node driver: the paper's Figure 1 loop over any transport.
 
+use std::sync::Arc;
+
 use lk::{Budget, ChainedLkConfig, ClkEngine, Stopwatch, Trace};
 use obs_api::{Counter, Histogram, MetricsSnapshot, Obs, Value};
 use p2p::election::{LogEntry, Replica};
-use p2p::{broadcast_id, Message, NodeId, Topology, Transport};
+use p2p::{broadcast_id, Message, NodeId, TelemetryShipper, TelemetryStore, Topology, Transport};
 use tsp_core::{Instance, NeighborLists, Tour};
 
 use crate::perturb::{PerturbAction, Perturbator};
@@ -58,6 +60,20 @@ pub struct DistConfig {
     /// one round suffices for an adjacent live neighbor; the default
     /// leaves headroom for message loss and thread scheduling.
     pub resync_patience: u32,
+    /// Ship a live [`Message::Telemetry`] frame (metric deltas, new
+    /// structured events, convergence state) every this many loop
+    /// rounds — directly into an attached [`TelemetryStore`] when one
+    /// is present, otherwise over the transport to the node currently
+    /// holding the lifecycle-hub role. `0` (the default) disables
+    /// shipping entirely: the loop stays bit-identical to
+    /// pre-telemetry builds (shipping itself never touches the RNG,
+    /// but zero keeps even the clock reads out of the hot path).
+    pub telemetry_every: u64,
+    /// Consecutive non-improving rounds before the node flags itself
+    /// stalled: fires one `clk.stall` event, bumps the `clk.stalls`
+    /// counter, and sets the stall flag carried by telemetry frames
+    /// until the next improvement clears it. `0` disables detection.
+    pub stall_window: u32,
 }
 
 impl Default for DistConfig {
@@ -75,6 +91,8 @@ impl Default for DistConfig {
             budget: Budget::kicks(50),
             seed: 0,
             resync_patience: 3,
+            telemetry_every: 0,
+            stall_window: 128,
         }
     }
 }
@@ -204,6 +222,14 @@ pub struct NodeDriver<'a, T: Transport> {
     /// clean runs stay bit-identical to pre-election builds.
     lifecycle: Replica,
 
+    // Live telemetry plane (inert when `telemetry_every == 0`).
+    telemetry_every: u64,
+    telemetry_rounds: u64,
+    shipper: Option<TelemetryShipper>,
+    telemetry: Option<Arc<TelemetryStore>>,
+    stall_window: u32,
+    stalled: bool,
+
     trace: Trace,
     events: Vec<NodeEvent>,
 }
@@ -329,6 +355,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             local: true,
         }];
 
+        let shipper = (cfg.telemetry_every > 0).then(|| TelemetryShipper::new(obs.clone()));
         NodeDriver {
             id,
             engine,
@@ -353,6 +380,12 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             terminated: false,
             resync_remaining: 0,
             lifecycle: Replica::bootstrap(cfg.topology, cfg.nodes),
+            telemetry_every: cfg.telemetry_every,
+            telemetry_rounds: 0,
+            shipper,
+            telemetry: None,
+            stall_window: cfg.stall_window,
+            stalled: false,
             trace,
             events,
         }
@@ -394,6 +427,57 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
     /// Whether the node is still waiting for a resync reply.
     pub fn resyncing(&self) -> bool {
         self.resync_remaining > 0
+    }
+
+    /// Whether the stall detector currently flags this node (no
+    /// improvement for `stall_window` consecutive rounds; cleared by
+    /// the next improvement, local or received).
+    pub fn stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Attach a cluster-merged live telemetry store. Frames this node
+    /// ships (see [`DistConfig::telemetry_every`]) are ingested
+    /// directly instead of traversing the transport, and
+    /// [`Message::Telemetry`] frames *received* from peers are merged
+    /// in too — so attaching the store to the lifecycle-hub node turns
+    /// it into the cluster's aggregation point, while attaching the
+    /// same store to every node gives the lockstep driver an
+    /// in-process live view with identical semantics.
+    pub fn attach_telemetry(&mut self, store: Arc<TelemetryStore>) {
+        self.telemetry = Some(store);
+    }
+
+    /// Count one loop round against the telemetry cadence and ship a
+    /// frame when due. No-op (not even a clock read) when
+    /// `telemetry_every` is zero.
+    fn maybe_ship_telemetry(&mut self) {
+        if self.telemetry_every == 0 {
+            return;
+        }
+        self.telemetry_rounds += 1;
+        if self.telemetry_rounds.is_multiple_of(self.telemetry_every) {
+            self.ship_telemetry_frame();
+        }
+    }
+
+    /// Build one telemetry frame (metric deltas since the last frame,
+    /// structured events not yet shipped, convergence state) and hand
+    /// it to the attached store — or, without one, send it to the node
+    /// currently holding the lifecycle-hub role, which aggregates on
+    /// the cluster's behalf.
+    fn ship_telemetry_frame(&mut self) {
+        let Some(shipper) = self.shipper.as_mut() else {
+            return;
+        };
+        let frame = shipper.frame(self.id, self.best_len, self.c_clk_calls.get(), self.stalled);
+        if let Some(store) = &self.telemetry {
+            store.ingest(&frame);
+        } else if let Some(hub) = self.lifecycle.hub() {
+            if hub != self.id {
+                let _ = self.transport.send(hub, frame);
+            }
+        }
     }
 
     /// Who this node currently believes holds the lifecycle-hub role.
@@ -568,6 +652,12 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             return false;
         }
 
+        // One span per Fig. 1 round. When the round produces (or
+        // adopts) a broadcast tour it is correlated with that tour's
+        // broadcast id, so the exported trace shows a tour's migration
+        // as one group of spans across nodes (inert when obs is off).
+        let mut round_span = self.obs.span("node.round");
+
         // s := CHAINEDLINKERNIGHAN(PERTURBATE(s_best))
         let mut s = self.best_tour.clone();
         let no_imp_before = self.perturb.no_improvements();
@@ -619,6 +709,24 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             Source::Prev => {
                 // LENGTH(s_best) = LENGTH(s_prev): no improvement.
                 self.perturb.record_no_improvement();
+                // Stall detector: fires once per episode (the flag is
+                // cleared only by an improvement), touching nothing but
+                // the obs plane — a stalled search trajectory is
+                // bit-identical to pre-detector builds.
+                if self.stall_window > 0
+                    && !self.stalled
+                    && self.perturb.no_improvements() >= self.stall_window
+                {
+                    self.stalled = true;
+                    self.obs.counter(obs_api::kinds::C_STALLS).incr();
+                    self.obs.event(
+                        obs_api::kinds::CLK_STALL,
+                        &[
+                            ("window", Value::U(self.stall_window as u64)),
+                            ("best_len", Value::I(self.best_len)),
+                        ],
+                    );
+                }
                 let strength = self.perturb.strength();
                 if strength != self.last_strength {
                     self.last_strength = strength;
@@ -634,6 +742,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             }
             Source::Local => {
                 self.perturb.record_improvement();
+                self.stalled = false;
                 self.reset_strength_event();
                 self.best_tour = s;
                 self.best_len = s_len;
@@ -648,6 +757,7 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                 // count only broadcasts that actually reached a peer.
                 let tour_id = broadcast_id(self.id, self.broadcast_seq);
                 self.broadcast_seq += 1;
+                round_span.correlate_broadcast(tour_id);
                 let sent = self.transport.broadcast(Message::TourFound {
                     from: self.id,
                     id: tour_id,
@@ -669,7 +779,9 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             Source::Received => {
                 let (len, tour, from, tour_id) =
                     best_received.expect("source=Received implies Some");
+                round_span.correlate_broadcast(tour_id);
                 self.perturb.record_improvement();
+                self.stalled = false;
                 self.reset_strength_event();
                 self.best_tour = tour;
                 self.best_len = len;
@@ -741,6 +853,10 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
             self.finishing_touches();
             return false;
         }
+        // Close the round span *before* shipping so this round's span
+        // event rides in this round's frame, not the next one's.
+        round_span.end();
+        self.maybe_ship_telemetry();
         true
     }
 
@@ -826,9 +942,22 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                 // reader thread and never reach this loop; in-memory
                 // transports surface them here, so answer for parity.
                 Message::Ping { from } => {
-                    let _ = self.transport.send(from, Message::Pong { from: self.id });
+                    let pong = Message::Pong {
+                        from: self.id,
+                        t_ns: self.obs.t_ns(),
+                    };
+                    let _ = self.transport.send(from, pong);
                 }
                 Message::Pong { .. } => {}
+                // A peer shipped its live telemetry here because this
+                // node holds (or held) the lifecycle-hub role: merge it
+                // into the attached store. Without a store the frame is
+                // dropped — telemetry is best-effort by design.
+                m @ Message::Telemetry { .. } => {
+                    if let Some(store) = &self.telemetry {
+                        store.ingest(&m);
+                    }
+                }
                 Message::BestRequest { from } => {
                     // A BestRequest from a peer this replica believed
                     // dead is the rejoin signal: record it, gossip it.
@@ -1077,7 +1206,12 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
         self.into_result(true)
     }
 
-    fn into_result(self, aborted: bool) -> NodeResult {
+    fn into_result(mut self, aborted: bool) -> NodeResult {
+        // One last frame so the live view converges to the final state
+        // (a crash ships nothing — exactly like a killed process).
+        if !aborted {
+            self.ship_telemetry_frame();
+        }
         NodeResult {
             id: self.id,
             best_length: self.best_len,
@@ -1320,6 +1454,56 @@ mod tests {
                 .any(|m| matches!(m, Message::OptimumFound { .. })),
             "no optimum announcement in {msgs:?}"
         );
+    }
+
+    #[test]
+    fn stall_detector_fires_once_per_episode() {
+        // A tour that is already optimal can never improve: the stall
+        // detector must trip exactly once (the flag stays set, so the
+        // counter must not climb with every further non-improvement).
+        let inst = generate::grid_known_optimum(4, 4, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(1, Topology::Hypercube);
+        let cfg = DistConfig {
+            nodes: 1,
+            c_v: 2,
+            c_r: 1000, // keep restarts out of the episode
+            stall_window: 5,
+            budget: Budget::kicks(30),
+            clk_kicks_per_call: 0,
+            ..Default::default()
+        };
+        let mut node = NodeDriver::new(&inst, &nl, &cfg, eps.remove(0));
+        assert!(!node.stalled());
+        while node.step() {}
+        assert!(node.stalled(), "an unimprovable tour must trip the detector");
+        let res = node.finish();
+        assert_eq!(res.metrics.counter(obs_api::kinds::C_STALLS), 1);
+        if obs_api::ENABLED {
+            assert!(
+                res.obs_events
+                    .iter()
+                    .any(|e| e.kind == obs_api::kinds::CLK_STALL),
+                "no clk.stall event in the log"
+            );
+        }
+    }
+
+    #[test]
+    fn stall_window_zero_disables_detection() {
+        let inst = generate::grid_known_optimum(4, 4, 100.0);
+        let nl = NeighborLists::build(&inst, 8);
+        let (mut eps, _) = InMemoryNetwork::build(1, Topology::Hypercube);
+        let cfg = DistConfig {
+            nodes: 1,
+            stall_window: 0,
+            budget: Budget::kicks(20),
+            clk_kicks_per_call: 0,
+            ..Default::default()
+        };
+        let node = NodeDriver::new(&inst, &nl, &cfg, eps.remove(0));
+        let res = node.run_to_completion();
+        assert_eq!(res.metrics.counter(obs_api::kinds::C_STALLS), 0);
     }
 
     #[test]

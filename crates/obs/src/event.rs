@@ -91,6 +91,11 @@ pub struct Event {
     pub t_ns: u64,
     /// Node id the event belongs to.
     pub node: u32,
+    /// Per-ring emission sequence number, stamped by
+    /// [`EventRing::record`]. Monotonic within one node's ring, so
+    /// `(t_ns, node, seq)` is a total order even when a coarse clock
+    /// assigns two events the same timestamp.
+    pub seq: u64,
     /// Event kind, e.g. `broadcast`, `recv`, `restart`.
     pub kind: Cow<'static, str>,
     /// Named payload fields, in emission order.
@@ -113,13 +118,13 @@ impl Event {
     }
 
     /// Serialize as one JSON object (no trailing newline). Reserved
-    /// keys `t_ns`, `node`, `kind` come first, then the fields.
+    /// keys `t_ns`, `node`, `seq`, `kind` come first, then the fields.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(64 + self.fields.len() * 16);
         let _ = write!(
             out,
-            "{{\"t_ns\":{},\"node\":{},\"kind\":",
-            self.t_ns, self.node
+            "{{\"t_ns\":{},\"node\":{},\"seq\":{},\"kind\":",
+            self.t_ns, self.node, self.seq
         );
         json_string(&mut out, &self.kind);
         for (k, v) in &self.fields {
@@ -158,12 +163,15 @@ impl Event {
         let pairs = p.object()?;
         let mut t_ns = None;
         let mut node = None;
+        // Older logs predate the seq key; default to 0 on parse.
+        let mut seq = 0;
         let mut kind = None;
         let mut fields = Vec::new();
         for (k, v) in pairs {
             match k.as_str() {
                 "t_ns" => t_ns = Some(value_u64(&v).ok_or("t_ns not unsigned")?),
                 "node" => node = Some(value_u64(&v).ok_or("node not unsigned")? as u32),
+                "seq" => seq = value_u64(&v).ok_or("seq not unsigned")?,
                 "kind" => match v {
                     Value::S(s) => kind = Some(s),
                     _ => return Err("kind not a string".into()),
@@ -174,6 +182,7 @@ impl Event {
         Ok(Event {
             t_ns: t_ns.ok_or("missing t_ns")?,
             node: node.ok_or("missing node")?,
+            seq,
             kind: Cow::Owned(kind.ok_or("missing kind")?),
             fields,
         })
@@ -189,7 +198,7 @@ fn value_u64(v: &Value) -> Option<u64> {
 }
 
 /// Write a JSON string literal (quotes + escapes) into `out`.
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -389,6 +398,10 @@ struct RingInner {
     #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
     cap: usize,
     dropped: u64,
+    // Next sequence number to stamp; counts all records ever made,
+    // including later-evicted ones.
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    next_seq: u64,
 }
 
 impl EventRing {
@@ -400,16 +413,21 @@ impl EventRing {
                 buf: VecDeque::new(),
                 cap: cap.max(1),
                 dropped: 0,
+                next_seq: 0,
             }),
         }
     }
 
-    /// Append an event; evicts the oldest record when full. Compiled
+    /// Append an event, stamping its `seq` with this ring's monotonic
+    /// emission counter; evicts the oldest record when full. Compiled
     /// out when the `enabled` feature is off.
     pub fn record(&self, event: Event) {
         #[cfg(feature = "enabled")]
         {
+            let mut event = event;
             let mut r = self.inner.lock().expect("event ring poisoned");
+            event.seq = r.next_seq;
+            r.next_seq += 1;
             if r.buf.len() == r.cap {
                 r.buf.pop_front();
                 r.dropped += 1;
@@ -481,6 +499,7 @@ mod tests {
         Event {
             t_ns: 123_456_789,
             node: 3,
+            seq: 0,
             kind: Cow::Borrowed(kind),
             fields: fields
                 .into_iter()
@@ -554,8 +573,27 @@ mod tests {
         let evs = ring.events();
         assert_eq!(evs[0].field_u64("i"), Some(2));
         assert_eq!(evs[2].field_u64("i"), Some(4));
+        // Seq keeps counting across evictions: survivors are 2..=4.
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), [2, 3, 4]);
         assert_eq!(ring.drain().len(), 3);
         assert!(ring.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn seq_survives_jsonl_round_trip() {
+        let ring = EventRing::with_capacity(8);
+        for _ in 0..3 {
+            ring.record(ev("tick", vec![]));
+        }
+        let evs = ring.events();
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), [0, 1, 2]);
+        let line = evs[2].to_jsonl();
+        assert!(line.contains("\"seq\":2"), "{line}");
+        assert_eq!(Event::from_jsonl(&line).unwrap(), evs[2]);
+        // A pre-seq log line parses with seq defaulting to 0.
+        let legacy = Event::from_jsonl("{\"t_ns\":5,\"node\":1,\"kind\":\"x\"}").unwrap();
+        assert_eq!(legacy.seq, 0);
     }
 
     #[cfg(not(feature = "enabled"))]

@@ -40,6 +40,7 @@
 //! assert_eq!(obs.snapshot().counter("clk.calls"), 1);
 //! ```
 
+pub mod chrome;
 pub mod event;
 pub mod metrics;
 
@@ -75,12 +76,19 @@ pub mod kinds {
     pub const C_STALE_CLAIMS: &str = "node.stale_claims";
     /// Counter: rejoins served while holding the hub role.
     pub const C_HUB_REJOINS_SERVED: &str = "node.hub_rejoins_served";
+    /// The stall detector fired: no improvement for the configured
+    /// window of loop rounds. Fields: `rounds`, `best_len`. Counter:
+    /// [`C_STALLS`].
+    pub const CLK_STALL: &str = "clk.stall";
+    /// Counter: stall-detector firings.
+    pub const C_STALLS: &str = "clk.stalls";
 }
 
 use std::borrow::Cow;
 use std::sync::Arc;
 use std::time::Instant;
 
+pub use chrome::chrome_trace_json;
 pub use event::{parse_jsonl, write_jsonl, Event, EventRing, Value};
 pub use metrics::{
     bucket_of, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
@@ -100,6 +108,9 @@ struct ObsInner {
     registry: Registry,
     events: EventRing,
     start: Instant,
+    /// Next span sequence number; span ids are `(node << 32) | seq`,
+    /// unique across the cluster like broadcast ids.
+    span_seq: std::sync::atomic::AtomicU64,
 }
 
 /// Per-node observability handle: a registry plus an event ring plus a
@@ -132,6 +143,7 @@ impl Obs {
                 registry: Registry::new(),
                 events: EventRing::with_capacity(event_capacity),
                 start: Instant::now(),
+                span_seq: std::sync::atomic::AtomicU64::new(0),
             })),
         }
     }
@@ -198,6 +210,8 @@ impl Obs {
             i.events.record(Event {
                 t_ns: i.start.elapsed().as_nanos() as u64,
                 node: i.node,
+                // The ring stamps the real per-node sequence number.
+                seq: 0,
                 kind: Cow::Borrowed(kind),
                 fields: fields
                     .iter()
@@ -207,11 +221,20 @@ impl Obs {
         }
     }
 
-    /// Snapshot the metrics registry (empty when disabled).
+    /// Snapshot the metrics registry (empty when disabled). When the
+    /// event ring is compiled in, the ring's eviction count is exported
+    /// as the `obs.events_dropped` counter, so overflow is visible in
+    /// scrapes and merged cluster views, not only via the Rust API.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.inner
-            .as_ref()
-            .map_or_else(MetricsSnapshot::default, |i| i.registry.snapshot())
+        let Some(i) = self.inner.as_ref() else {
+            return MetricsSnapshot::default();
+        };
+        let mut snap = i.registry.snapshot();
+        if ENABLED {
+            snap.counters
+                .insert("obs.events_dropped".to_string(), i.events.dropped());
+        }
+        snap
     }
 
     /// Copy out the buffered events, oldest first.
@@ -232,6 +255,107 @@ impl Obs {
     /// Write the buffered events as JSONL.
     pub fn write_events_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         write_jsonl(w, &self.events())
+    }
+
+    /// Open a root span named `kind`. The span records one event on
+    /// [`Span::end`] (or drop) carrying its id, parent id, duration,
+    /// and optional broadcast-id correlation — see the [`chrome`]
+    /// module for the Perfetto-loadable export. No-op (id 0) when this
+    /// handle is disabled or the `enabled` feature is off.
+    pub fn span(&self, kind: &'static str) -> Span {
+        self.span_with_parent(kind, 0)
+    }
+
+    fn span_with_parent(&self, kind: &'static str, parent: u64) -> Span {
+        if !ENABLED || self.inner.is_none() {
+            return Span {
+                obs: Obs::disabled(),
+                kind,
+                id: 0,
+                parent: 0,
+                bcast: None,
+                t0_ns: 0,
+                done: true,
+            };
+        }
+        let i = self.inner.as_ref().expect("checked live above");
+        let seq = i
+            .span_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Span {
+            obs: self.clone(),
+            kind,
+            id: ((i.node as u64) << 32) | (seq & 0xFFFF_FFFF),
+            parent,
+            bcast: None,
+            t0_ns: self.t_ns(),
+            done: false,
+        }
+    }
+}
+
+/// An open span from [`Obs::span`]: a named duration with an id, a
+/// parent id (0 = root), and an optional broadcast-id correlation so
+/// the same logical tour migration can be followed across nodes. The
+/// span is recorded as a regular [`Event`] (kind = span name, fields
+/// `span`, `parent`, `dur_ns`, and `bcast` when correlated) when
+/// [`Span::end`] is called or the guard drops.
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    kind: &'static str,
+    id: u64,
+    parent: u64,
+    bcast: Option<u64>,
+    t0_ns: u64,
+    done: bool,
+}
+
+impl Span {
+    /// This span's cluster-unique id (0 when observability is off).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Open a child span: same node, `parent` set to this span's id.
+    pub fn child(&self, kind: &'static str) -> Span {
+        self.obs.span_with_parent(kind, self.id)
+    }
+
+    /// Correlate this span with a broadcast id (`p2p::broadcast_id`):
+    /// the exported trace groups spans sharing a `bcast` field across
+    /// nodes, which is how a tour's hub-to-leaf migration is followed.
+    pub fn correlate_broadcast(&mut self, bcast: u64) {
+        self.bcast = Some(bcast);
+    }
+
+    /// Close the span, recording its event. Equivalent to dropping it,
+    /// but explicit at call sites where the scope is not the lifetime.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let dur_ns = self.obs.t_ns().saturating_sub(self.t0_ns);
+        let mut fields = vec![
+            ("span", Value::U(self.id)),
+            ("parent", Value::U(self.parent)),
+            ("dur_ns", Value::U(dur_ns)),
+        ];
+        if let Some(b) = self.bcast {
+            fields.push(("bcast", Value::U(b)));
+        }
+        self.obs.event(self.kind, &fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -257,14 +381,29 @@ impl Timer {
     }
 }
 
-/// Merge many per-node event logs into one timeline sorted by `t_ns`
-/// (ties break by node id). Assumes the nodes' start instants are
-/// close (the drivers create all nodes back-to-back); good enough for
-/// run-profile rendering.
+/// Merge many per-node event logs into one timeline sorted by
+/// `(t_ns, node, seq)`. The full triple is a total order: two events
+/// with the same timestamp — a coarse clock, or two nodes observing
+/// the same instant — still land in one deterministic sequence (node
+/// id first, then the per-ring emission order). Timestamps from
+/// different nodes are each node's own monotonic clock; align them
+/// first with [`align_timeline`] when cross-node offsets are known.
 pub fn merge_timelines(per_node: &[Vec<Event>]) -> Vec<Event> {
     let mut all: Vec<Event> = per_node.iter().flatten().cloned().collect();
-    all.sort_by_key(|e| (e.t_ns, e.node));
+    all.sort_by_key(|e| (e.t_ns, e.node, e.seq));
     all
+}
+
+/// Shift event timestamps by per-node clock offsets: `offsets[node]`
+/// is the signed nanosecond correction to *add* to that node's local
+/// `t_ns` to land on the reference (hub) timeline. Nodes without an
+/// entry are left untouched; corrected values clamp at 0.
+pub fn align_timeline(events: &mut [Event], offsets: &std::collections::BTreeMap<u32, i64>) {
+    for e in events.iter_mut() {
+        if let Some(&off) = offsets.get(&e.node) {
+            e.t_ns = (e.t_ns as i128 + off as i128).clamp(0, u64::MAX as i128) as u64;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +460,108 @@ mod tests {
         // Counters still work.
         a.counter("c").incr();
         assert_eq!(a.snapshot().counter("c"), 1);
+    }
+
+    /// Regression for the tie-breaking satellite: equal-`t_ns` events
+    /// from different nodes (and several from the *same* node) must
+    /// order deterministically by `(t_ns, node, seq)` regardless of
+    /// input order.
+    #[test]
+    fn merge_timelines_breaks_ties_by_node_then_seq() {
+        use std::borrow::Cow;
+        let mk = |t_ns, node, seq, kind: &'static str| Event {
+            t_ns,
+            node,
+            seq,
+            kind: Cow::Borrowed(kind),
+            fields: vec![],
+        };
+        // Same timestamp everywhere; shuffled input order.
+        let a = vec![mk(100, 1, 1, "a1"), mk(100, 1, 0, "a0")];
+        let b = vec![mk(100, 0, 5, "b5"), mk(100, 2, 0, "c0")];
+        let merged = merge_timelines(&[a.clone(), b.clone()]);
+        let kinds: Vec<&str> = merged.iter().map(|e| e.kind.as_ref()).collect();
+        assert_eq!(kinds, ["b5", "a0", "a1", "c0"]);
+        // Deterministic under any per-node input permutation.
+        let merged2 = merge_timelines(&[b, a]);
+        assert_eq!(merged, merged2);
+    }
+
+    #[test]
+    fn align_timeline_applies_signed_offsets() {
+        use std::borrow::Cow;
+        use std::collections::BTreeMap;
+        let mut events = vec![
+            Event {
+                t_ns: 1_000,
+                node: 0,
+                seq: 0,
+                kind: Cow::Borrowed("x"),
+                fields: vec![],
+            },
+            Event {
+                t_ns: 1_000,
+                node: 1,
+                seq: 0,
+                kind: Cow::Borrowed("y"),
+                fields: vec![],
+            },
+        ];
+        let mut offsets = BTreeMap::new();
+        offsets.insert(1u32, -400i64);
+        align_timeline(&mut events, &offsets);
+        assert_eq!(events[0].t_ns, 1_000, "no offset entry: untouched");
+        assert_eq!(events[1].t_ns, 600);
+        // Underflow clamps at zero instead of wrapping.
+        offsets.insert(1, -10_000);
+        align_timeline(&mut events, &offsets);
+        assert_eq!(events[1].t_ns, 0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_record_ids_parents_and_broadcast_correlation() {
+        let obs = Obs::for_node(3);
+        let mut root = obs.span("clk.call");
+        root.correlate_broadcast(0xBEEF);
+        let root_id = root.id();
+        assert_eq!(root_id >> 32, 3, "span id embeds the node");
+        let child = root.child("clk.kick");
+        let child_id = child.id();
+        assert_ne!(child_id, root_id);
+        child.end();
+        root.end();
+        let events = obs.events();
+        assert_eq!(events.len(), 2, "one event per closed span");
+        // Child closed first.
+        assert_eq!(events[0].kind, "clk.kick");
+        assert_eq!(events[0].field_u64("span"), Some(child_id));
+        assert_eq!(events[0].field_u64("parent"), Some(root_id));
+        assert_eq!(events[1].kind, "clk.call");
+        assert_eq!(events[1].field_u64("parent"), Some(0));
+        assert_eq!(events[1].field_u64("bcast"), Some(0xBEEF));
+        assert!(events[1].field_u64("dur_ns").is_some());
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let obs = Obs::disabled();
+        let s = obs.span("x");
+        assert_eq!(s.id(), 0);
+        s.end();
+        assert!(obs.events().is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn events_dropped_exported_as_counter() {
+        let obs = Obs::with_capacity(0, 2);
+        for _ in 0..5 {
+            obs.event("tick", &[]);
+        }
+        assert_eq!(obs.events_dropped(), 3);
+        assert_eq!(obs.snapshot().counter("obs.events_dropped"), 3);
+        assert!(obs.prometheus_text().contains("obs_events_dropped 3"));
     }
 
     #[cfg(feature = "enabled")]

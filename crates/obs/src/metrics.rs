@@ -338,6 +338,44 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The change since `base`: counters and histogram buckets
+    /// subtract (saturating — a restarted node whose counters went
+    /// backwards reports zero, not a huge wrap), gauges keep their
+    /// current absolute value (a gauge *is* a point-in-time reading,
+    /// so an ingester replaces rather than adds them). Shipping deltas
+    /// instead of absolutes is what lets a hub add frames from many
+    /// nodes into one live cluster registry without double-counting
+    /// earlier shipments: for counters and histograms,
+    /// `base.merge(&delta)` reconstructs `self`.
+    pub fn delta(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(base.counter(k))))
+            .collect();
+        let gauges = self.gauges.clone();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let mut d = h.clone();
+                if let Some(b) = base.histograms.get(k) {
+                    for (x, y) in d.buckets.iter_mut().zip(b.buckets.iter()) {
+                        *x = x.saturating_sub(*y);
+                    }
+                    d.count = d.count.saturating_sub(b.count);
+                    d.sum = d.sum.saturating_sub(b.sum);
+                }
+                (k.clone(), d)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
     /// Counter value by name (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -519,6 +557,97 @@ mod tests {
         assert!(text.contains("# TYPE clk_call_ns histogram"));
         assert!(text.contains("clk_call_ns_count"));
         assert!(text.contains("le=\"+Inf\""));
+    }
+
+    /// Every non-alphanumeric character maps to `_`, and the result is
+    /// a valid Prometheus metric name even for hostile inputs.
+    #[test]
+    fn prometheus_sanitizes_metric_names() {
+        let reg = Registry::new();
+        reg.counter("node.clk-calls/total µ").add(1);
+        reg.counter("0weird").add(2);
+        let text = reg.snapshot().prometheus_text();
+        assert!(text.contains("# TYPE node_clk_calls_total__ counter"));
+        assert!(text.contains("node_clk_calls_total__ 1"));
+        // Sanitized output contains no characters outside [A-Za-z0-9_]
+        // on metric lines (label values like +Inf are quoted).
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unsanitized name in {line:?}"
+            );
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_monotone() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        for v in [0u64, 1, 2, 3, 5, 9, 1000, 1 << 40] {
+            h.observe(v);
+        }
+        let text = reg.snapshot().prometheus_text();
+        // Collect the bucket series in emission order.
+        let mut uppers: Vec<f64> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("h_bucket{le=\"") {
+                let (le, cnt) = rest.split_once("\"} ").unwrap();
+                uppers.push(if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                });
+                counts.push(cnt.parse().unwrap());
+            }
+        }
+        assert!(uppers.len() >= 4, "expected several buckets:\n{text}");
+        // `le` bounds strictly increase and end at +Inf.
+        for w in uppers.windows(2) {
+            assert!(w[0] < w[1], "le bounds not increasing: {uppers:?}");
+        }
+        assert_eq!(*uppers.last().unwrap(), f64::INFINITY);
+        // Cumulative counts are monotone non-decreasing, and +Inf
+        // equals the total observation count.
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1], "buckets not cumulative: {counts:?}");
+        }
+        assert_eq!(*counts.last().unwrap(), 8);
+        assert!(text.contains("h_count 8"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn delta_subtracts_and_merge_reconstructs() {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.add(10);
+        g.set(5);
+        h.observe(3);
+        let base = reg.snapshot();
+        c.add(7);
+        g.set(-2);
+        h.observe(3);
+        h.observe(100);
+        let now = reg.snapshot();
+        let d = now.delta(&base);
+        assert_eq!(d.counter("c"), 7);
+        assert_eq!(d.gauges["g"], -2, "gauges ship absolute values");
+        assert_eq!(d.histogram("h").unwrap().count, 2);
+        assert_eq!(d.histogram("h").unwrap().sum, 103);
+        // Counter/histogram reconstruction: base + delta == now.
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt.counters, now.counters);
+        assert_eq!(rebuilt.histograms, now.histograms);
+        // A fresh registry (restart) deltas to zero, not to a wrap.
+        let empty = MetricsSnapshot::default();
+        let d2 = empty.delta(&now);
+        assert!(d2.counters.is_empty());
     }
 
     #[test]

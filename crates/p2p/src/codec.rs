@@ -21,6 +21,11 @@ const TAG_BEST_REQUEST: u8 = 6;
 const TAG_BEST_REPLY: u8 = 7;
 const TAG_HUB_CLAIM: u8 = 8;
 const TAG_LOG_SNAPSHOT: u8 = 9;
+const TAG_TELEMETRY: u8 = 10;
+
+/// Longest accepted metric name inside a Telemetry frame (real names
+/// are short dotted paths like `node.clk_calls`).
+const MAX_METRIC_NAME: usize = 256;
 
 // Membership-log entry kinds (first byte of each 17-byte entry inside
 // a LogSnapshot payload).
@@ -107,9 +112,10 @@ pub fn encode(msg: &Message) -> Bytes {
             buf.put_u8(TAG_PING);
             buf.put_u64_le(*from as u64);
         }
-        Message::Pong { from } => {
+        Message::Pong { from, t_ns } => {
             buf.put_u8(TAG_PONG);
             buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*t_ns);
         }
         Message::BestRequest { from } => {
             buf.put_u8(TAG_BEST_REQUEST);
@@ -142,6 +148,39 @@ pub fn encode(msg: &Message) -> Bytes {
             for e in entries {
                 put_log_entry(&mut buf, e);
             }
+        }
+        Message::Telemetry {
+            from,
+            t_ns,
+            rtt_ns,
+            best_len,
+            clk_calls,
+            stalled,
+            counters,
+            gauges,
+            events_jsonl,
+        } => {
+            buf.put_u8(TAG_TELEMETRY);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*t_ns);
+            buf.put_u64_le(*rtt_ns);
+            buf.put_i64_le(*best_len);
+            buf.put_u64_le(*clk_calls);
+            buf.put_u8(*stalled as u8);
+            buf.put_u32_le(counters.len() as u32);
+            for (name, v) in counters {
+                buf.put_u16_le(name.len() as u16);
+                buf.put_slice(name.as_bytes());
+                buf.put_u64_le(*v);
+            }
+            buf.put_u32_le(gauges.len() as u32);
+            for (name, v) in gauges {
+                buf.put_u16_le(name.len() as u16);
+                buf.put_slice(name.as_bytes());
+                buf.put_i64_le(*v);
+            }
+            buf.put_u32_le(events_jsonl.len() as u32);
+            buf.put_slice(events_jsonl);
         }
     }
     debug_assert_eq!(buf.len(), 4 + body_len);
@@ -203,11 +242,12 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
             })
         }
         TAG_PONG => {
-            if payload.remaining() != 8 {
+            if payload.remaining() != 16 {
                 return Err(err("bad Pong size"));
             }
             Ok(Message::Pong {
                 from: payload.get_u64_le() as usize,
+                t_ns: payload.get_u64_le(),
             })
         }
         TAG_BEST_REQUEST => {
@@ -263,8 +303,92 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
             }
             Ok(Message::LogSnapshot { from, entries })
         }
+        TAG_TELEMETRY => {
+            if payload.remaining() < 8 + 8 + 8 + 8 + 8 + 1 + 4 {
+                return Err(err("truncated Telemetry header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let t_ns = payload.get_u64_le();
+            let rtt_ns = payload.get_u64_le();
+            let best_len = payload.get_i64_le();
+            let clk_calls = payload.get_u64_le();
+            let stalled = match payload.get_u8() {
+                0 => false,
+                1 => true,
+                b => return Err(err(&format!("bad Telemetry stall flag {b}"))),
+            };
+            let counters = get_metric_section(&mut payload, |p| {
+                if p.remaining() < 8 {
+                    return Err(NetError::Codec("truncated counter value".into()));
+                }
+                Ok(p.get_u64_le())
+            })?;
+            if payload.remaining() < 4 {
+                return Err(err("truncated Telemetry gauge section"));
+            }
+            let gauges = get_metric_section(&mut payload, |p| {
+                if p.remaining() < 8 {
+                    return Err(NetError::Codec("truncated gauge value".into()));
+                }
+                Ok(p.get_i64_le())
+            })?;
+            if payload.remaining() < 4 {
+                return Err(err("truncated Telemetry event section"));
+            }
+            let n = payload.get_u32_le() as usize;
+            if payload.remaining() != n {
+                return Err(err("Telemetry event bytes mismatch"));
+            }
+            let events_jsonl = payload.to_vec();
+            Ok(Message::Telemetry {
+                from,
+                t_ns,
+                rtt_ns,
+                best_len,
+                clk_calls,
+                stalled,
+                counters,
+                gauges,
+                events_jsonl,
+            })
+        }
         t => Err(err(&format!("unknown tag {t}"))),
     }
+}
+
+/// Parse one `(name, value)` section of a Telemetry payload: a `u32`
+/// entry count, then per entry a `u16`-length-prefixed UTF-8 name and
+/// a fixed-width value read by `get_value`. Rejects oversized names,
+/// non-UTF-8 names, and counts that overrun the payload — a corrupt
+/// frame must never allocate unbounded memory or panic.
+fn get_metric_section<T>(
+    payload: &mut &[u8],
+    mut get_value: impl FnMut(&mut &[u8]) -> Result<T, NetError>,
+) -> Result<Vec<(String, T)>, NetError> {
+    let n = payload.get_u32_le() as usize;
+    // Each entry is at least 2 (name length) + 8 (value) bytes.
+    if n > payload.remaining() / 10 {
+        return Err(NetError::Codec("metric section count overruns frame".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if payload.remaining() < 2 {
+            return Err(NetError::Codec("truncated metric name length".into()));
+        }
+        let name_len = payload.get_u16_le() as usize;
+        if name_len > MAX_METRIC_NAME {
+            return Err(NetError::Codec(format!("metric name too long ({name_len})")));
+        }
+        if payload.remaining() < name_len {
+            return Err(NetError::Codec("truncated metric name".into()));
+        }
+        let name = std::str::from_utf8(&payload[..name_len])
+            .map_err(|_| NetError::Codec("metric name not UTF-8".into()))?
+            .to_string();
+        payload.advance(name_len);
+        out.push((name, get_value(payload)?));
+    }
+    Ok(out)
 }
 
 /// Read one frame from a blocking reader (e.g. a `TcpStream`).
@@ -316,7 +440,10 @@ mod tests {
         });
         roundtrip(Message::Leave { from: usize::MAX >> 1 });
         roundtrip(Message::Ping { from: 3 });
-        roundtrip(Message::Pong { from: 4 });
+        roundtrip(Message::Pong {
+            from: 4,
+            t_ns: u64::MAX - 1,
+        });
         roundtrip(Message::BestRequest { from: 5 });
         roundtrip(Message::BestReply {
             from: 6,
@@ -368,6 +495,72 @@ mod tests {
         claim.extend_from_slice(&1u64.to_le_bytes());
         claim.extend_from_slice(&[0u8; 4]);
         assert!(decode(&claim).is_err());
+    }
+
+    fn sample_telemetry() -> Message {
+        Message::Telemetry {
+            from: 3,
+            t_ns: 1_000_000_007,
+            rtt_ns: 42_000,
+            best_len: -27686,
+            clk_calls: 512,
+            stalled: true,
+            counters: vec![
+                ("clk.calls".to_string(), 512),
+                ("node.broadcasts".to_string(), 9),
+            ],
+            gauges: vec![("node.best_len".to_string(), -27686)],
+            events_jsonl: b"{\"t_ns\":1,\"node\":3,\"seq\":0,\"kind\":\"clk.stall\"}\n".to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_telemetry() {
+        roundtrip(sample_telemetry());
+        // Empty sections are a legal (idle-node) shipment.
+        roundtrip(Message::Telemetry {
+            from: 0,
+            t_ns: 0,
+            rtt_ns: 0,
+            best_len: i64::MAX,
+            clk_calls: 0,
+            stalled: false,
+            counters: vec![],
+            gauges: vec![],
+            events_jsonl: vec![],
+        });
+    }
+
+    #[test]
+    fn rejects_corrupt_telemetry() {
+        let frame = encode(&sample_telemetry());
+        let payload = &frame[4..];
+        // Pristine payload decodes; every truncation prefix is rejected
+        // (never panics, never mis-decodes).
+        assert!(decode(payload).is_ok());
+        for cut in 1..payload.len() {
+            assert!(
+                decode(&payload[..cut]).is_err(),
+                "truncation at {cut} bytes accepted"
+            );
+        }
+        // Counter count overrunning the frame.
+        let mut bad = payload.to_vec();
+        let count_at = 1 + 8 * 5 + 1;
+        bad[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bad).is_err());
+        // Oversized metric name length.
+        let mut bad = payload.to_vec();
+        bad[count_at + 4..count_at + 6].copy_from_slice(&(MAX_METRIC_NAME as u16 + 1).to_le_bytes());
+        assert!(decode(&bad).is_err());
+        // Non-UTF-8 metric name bytes.
+        let mut bad = payload.to_vec();
+        bad[count_at + 6] = 0xFF;
+        assert!(decode(&bad).is_err());
+        // Stall flag outside {0, 1}.
+        let mut bad = payload.to_vec();
+        bad[count_at - 1] = 7;
+        assert!(decode(&bad).is_err());
     }
 
     #[test]

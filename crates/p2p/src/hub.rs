@@ -25,9 +25,11 @@ use crossbeam::channel::{unbounded, RecvTimeoutError};
 use obs_api::{Obs, Value};
 use parking_lot::Mutex;
 
+use crate::codec::{read_frame, write_frame};
 use crate::election::{MembershipLog, Replica};
-use crate::message::NodeId;
+use crate::message::{Message, NodeId};
 use crate::tcp::{TcpConfig, TcpEndpoint};
+use crate::telemetry::TelemetryStore;
 use crate::topology::{Membership, Topology};
 use crate::NetError;
 
@@ -327,6 +329,7 @@ pub struct LifecycleHub {
     thread: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     state: Arc<Mutex<LifecycleState>>,
+    telemetry: Arc<TelemetryStore>,
     obs: Obs,
 }
 
@@ -407,18 +410,23 @@ impl LifecycleHub {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let state = Arc::new(Mutex::new(state));
+        let telemetry = TelemetryStore::shared();
         let loop_state = Arc::clone(&state);
         let loop_stop = Arc::clone(&stop);
+        let loop_telemetry = Arc::clone(&telemetry);
         let loop_obs = obs.clone();
         let thread = std::thread::Builder::new()
             .name("p2p-hub-lifecycle".into())
-            .spawn(move || lifecycle_loop(listener, loop_state, loop_stop, loop_obs))
+            .spawn(move || {
+                lifecycle_loop(listener, loop_state, loop_stop, loop_telemetry, loop_obs)
+            })
             .expect("spawn hub thread");
         Ok(LifecycleHub {
             addr,
             thread: Some(thread),
             stop,
             state,
+            telemetry,
             obs,
         })
     }
@@ -444,6 +452,14 @@ impl LifecycleHub {
         self.state.lock().stepped_down
     }
 
+    /// The hub's live telemetry registry: `TELEMETRY` frames land
+    /// here, and `METRICS`/`STATUS` scrapes read from it. In-process
+    /// runs can clone the `Arc` and ingest directly, bypassing the
+    /// wire — the scrape commands then serve exactly the same view.
+    pub fn telemetry(&self) -> Arc<TelemetryStore> {
+        Arc::clone(&self.telemetry)
+    }
+
     /// Stop serving and join the hub thread. Idempotent.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
@@ -465,6 +481,7 @@ fn lifecycle_loop(
     listener: TcpListener,
     state: Arc<Mutex<LifecycleState>>,
     stop: Arc<AtomicBool>,
+    telemetry: Arc<TelemetryStore>,
     obs: Obs,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
@@ -478,11 +495,13 @@ fn lifecycle_loop(
             break;
         }
         let conn_state = Arc::clone(&state);
+        let conn_telemetry = Arc::clone(&telemetry);
         let conn_obs = obs.clone();
         let handle = std::thread::Builder::new()
             .name("p2p-hub-conn".into())
             .spawn(move || {
-                if let Err(e) = serve_lifecycle(stream, &conn_state, &conn_obs) {
+                if let Err(e) = serve_lifecycle(stream, &conn_state, &conn_telemetry, &conn_obs)
+                {
                     conn_obs.counter("hub.rejects").incr();
                     conn_obs.event("hub.reject", &[("error", Value::S(e.to_string()))]);
                 }
@@ -497,10 +516,12 @@ fn lifecycle_loop(
 }
 
 /// Serve one lifecycle request (`JOIN` / `DOWN` / `REJOIN` /
-/// `HUBCLAIM`) under read and write deadlines.
+/// `HUBCLAIM` / `TELEMETRY` / `METRICS` / `STATUS`) under read and
+/// write deadlines.
 fn serve_lifecycle(
     stream: TcpStream,
     state: &Mutex<LifecycleState>,
+    telemetry: &TelemetryStore,
     obs: &Obs,
 ) -> Result<(), NetError> {
     let deadline = TcpConfig::default().handshake_timeout;
@@ -656,6 +677,33 @@ fn serve_lifecycle(
             );
             Ok(())
         }
+        ["TELEMETRY"] => {
+            // The text line is followed by one binary codec frame on
+            // the same stream; the reply carries the hub store clock
+            // at ingest so the shipper can measure its own RTT.
+            let msg = read_frame(&mut reader)?;
+            let Some(hub_t) = telemetry.ingest(&msg) else {
+                return Err(NetError::Codec("TELEMETRY frame was not Telemetry".into()));
+            };
+            writeln!(w, "OK {hub_t}")?;
+            w.flush()?;
+            obs.counter("hub.telemetry_frames").incr();
+            Ok(())
+        }
+        ["METRICS"] => {
+            // Prometheus text exposition of the cluster-merged view;
+            // the body ends when the hub closes the connection.
+            w.write_all(telemetry.prometheus_text().as_bytes())?;
+            w.flush()?;
+            obs.counter("hub.scrapes").incr();
+            Ok(())
+        }
+        ["STATUS"] => {
+            w.write_all(telemetry.status_text().as_bytes())?;
+            w.flush()?;
+            obs.counter("hub.scrapes").incr();
+            Ok(())
+        }
         ["HUBCLAIM", epoch] => {
             let claimed: u64 = epoch
                 .parse()
@@ -752,6 +800,60 @@ pub fn claim_hub(hub: SocketAddr, epoch: u64, cfg: &TcpConfig) -> Result<bool, N
         ["STALE", _] => Ok(false),
         _ => Err(NetError::Codec(format!("bad claim reply {line:?}"))),
     }
+}
+
+/// Ship one [`Message::Telemetry`] frame to the hub's `TELEMETRY`
+/// command and return the hub store clock (ns) at ingest. The caller
+/// measures the wall time of this call to obtain the RTT fed into its
+/// *next* frame. Deliberately single-attempt: telemetry is lossy by
+/// design and the next periodic shipment supersedes a dropped one.
+pub fn ship_telemetry(
+    hub: SocketAddr,
+    frame: &Message,
+    cfg: &TcpConfig,
+) -> Result<u64, NetError> {
+    let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+    stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+    stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
+    writeln!(stream, "TELEMETRY")?;
+    write_frame(&mut stream, frame)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let tokens: Vec<&str> = line.trim().split(' ').collect();
+    match tokens.as_slice() {
+        ["OK", t] => t
+            .parse()
+            .map_err(|_| NetError::Codec(format!("bad hub clock {t:?}"))),
+        _ => Err(NetError::Codec(format!("bad telemetry reply {line:?}"))),
+    }
+}
+
+/// Scrape the hub's cluster-merged metrics (`METRICS`): the body is
+/// Prometheus text exposition, terminated by connection close.
+pub fn scrape_metrics(hub: SocketAddr, cfg: &TcpConfig) -> Result<String, NetError> {
+    scrape(hub, "METRICS", cfg)
+}
+
+/// Scrape the hub's per-node convergence view (`STATUS`): one
+/// `NODE …` line per reporting node.
+pub fn scrape_status(hub: SocketAddr, cfg: &TcpConfig) -> Result<String, NetError> {
+    scrape(hub, "STATUS", cfg)
+}
+
+fn scrape(hub: SocketAddr, cmd: &str, cfg: &TcpConfig) -> Result<String, NetError> {
+    use std::io::Read as _;
+    let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+    stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+    stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
+    writeln!(stream, "{cmd}")?;
+    stream.flush()?;
+    let mut body = String::new();
+    stream.read_to_string(&mut body)?;
+    if body.starts_with("MOVED") {
+        return Err(NetError::Codec(format!("hub moved: {}", body.trim())));
+    }
+    Ok(body)
 }
 
 fn retry_request<T>(
@@ -1172,6 +1274,64 @@ mod tests {
         for e in &mut eps {
             e.shutdown();
         }
+        hub.stop();
+    }
+
+    /// The live telemetry plane over real sockets: nodes ship frames
+    /// to the hub's `TELEMETRY` command mid-run; `METRICS` returns the
+    /// cluster-merged Prometheus view and `STATUS` the per-node
+    /// convergence lines; a stepped-down hub redirects both.
+    #[test]
+    fn telemetry_ship_and_scrape_over_sockets() {
+        let mut hub = LifecycleHub::start("127.0.0.1:0", 4, Topology::Ring).unwrap();
+        let addr = hub.addr();
+        let cfg = TcpConfig::default();
+        hub.telemetry().set_reference(Some(100));
+
+        let f0 = Message::Telemetry {
+            from: 0,
+            t_ns: 10,
+            rtt_ns: 0,
+            best_len: 110,
+            clk_calls: 42,
+            stalled: false,
+            counters: vec![("clk.calls".into(), 42)],
+            gauges: vec![("node.best".into(), 110)],
+            events_jsonl: vec![],
+        };
+        let t0 = ship_telemetry(addr, &f0, &cfg).unwrap();
+        let f1 = Message::Telemetry {
+            from: 1,
+            t_ns: 11,
+            rtt_ns: 5,
+            best_len: 100,
+            clk_calls: 8,
+            stalled: true,
+            counters: vec![("clk.calls".into(), 8)],
+            gauges: vec![("node.best".into(), 100)],
+            events_jsonl: vec![],
+        };
+        let t1 = ship_telemetry(addr, &f1, &cfg).unwrap();
+        assert!(t1 >= t0, "hub clock went backwards: {t0} -> {t1}");
+
+        let metrics = scrape_metrics(addr, &cfg).unwrap();
+        assert!(metrics.contains("clk_calls 50"), "{metrics}");
+        assert!(metrics.contains("node_best 210"), "{metrics}");
+        assert!(metrics.contains("telemetry_nodes_reporting 2"), "{metrics}");
+        assert!(metrics.contains("telemetry_nodes_stalled 1"), "{metrics}");
+        let status = scrape_status(addr, &cfg).unwrap();
+        assert!(status.contains("NODE 0 BEST 110 GAP 10.0000"), "{status}");
+        assert!(status.contains("NODE 1 BEST 100 GAP 0.0000"), "{status}");
+        assert!(status.lines().any(|l| l.starts_with("NODE 1") && l.contains("STALLED 1")));
+
+        // The in-process view is the same store the wire serves.
+        assert_eq!(hub.telemetry().nodes(), vec![0, 1]);
+
+        // A fenced-out hub redirects telemetry traffic like any other
+        // lifecycle request.
+        assert!(claim_hub(addr, 1, &cfg).unwrap());
+        assert!(scrape_metrics(addr, &cfg).is_err());
+        assert!(ship_telemetry(addr, &f0, &cfg).is_err());
         hub.stop();
     }
 

@@ -27,6 +27,7 @@ pub mod hub;
 pub mod memory;
 pub mod message;
 pub mod tcp;
+pub mod telemetry;
 pub mod topology;
 pub mod transport;
 pub mod util;
@@ -36,6 +37,7 @@ pub use fault::{FaultConfig, FaultyTransport};
 pub use memory::InMemoryNetwork;
 pub use message::{broadcast_id, Message, NodeId};
 pub use tcp::TcpConfig;
+pub use telemetry::{NodeTelemetry, TelemetryShipper, TelemetryStore};
 pub use topology::{Membership, Topology};
 pub use transport::Transport;
 pub use util::wait_until;

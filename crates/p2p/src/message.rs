@@ -49,11 +49,17 @@ pub enum Message {
         /// Probing node.
         from: NodeId,
     },
-    /// Liveness probe answer. Its only effect is refreshing the
-    /// sender's last-seen clock on the receiving endpoint.
+    /// Liveness probe answer. Refreshes the sender's last-seen clock
+    /// on the receiving endpoint; the carried timestamp additionally
+    /// lets the prober estimate the responder's clock offset
+    /// (`t_remote - (t_send + rtt/2)`) for cross-node timeline
+    /// alignment.
     Pong {
         /// Answering node.
         from: NodeId,
+        /// The responder's local monotonic clock, in nanoseconds since
+        /// its observability epoch (0 when observability is off).
+        t_ns: u64,
     },
     /// A rejoining node asking its neighborhood for the current best
     /// tour, so it can resume from population state instead of a cold
@@ -98,6 +104,37 @@ pub enum Message {
         /// Log entries, oldest first.
         entries: Vec<crate::election::LogEntry>,
     },
+    /// Periodic live-telemetry shipment from a node to the current
+    /// hub: metric deltas, recent events, and anytime convergence
+    /// state. The hub folds these into its cluster-merged live
+    /// registry (`METRICS`/`STATUS` scrapes) and estimates the
+    /// sender's clock offset from `t_ns` + the measured RTT.
+    Telemetry {
+        /// Reporting node.
+        from: NodeId,
+        /// Sender's local monotonic clock (ns since its observability
+        /// epoch) at send time.
+        t_ns: u64,
+        /// Round-trip time to the hub as last measured by the sender
+        /// (previous shipment ack, or the transport's Ping/Pong
+        /// probe); 0 when unknown.
+        rtt_ns: u64,
+        /// Anytime best tour length on this node.
+        best_len: i64,
+        /// CLK calls performed so far (the hub derives the iteration
+        /// rate from successive shipments).
+        clk_calls: u64,
+        /// Whether the stall detector is currently tripped (no
+        /// improvement for the configured window).
+        stalled: bool,
+        /// Counter increments since the previous shipment, by name.
+        counters: Vec<(String, u64)>,
+        /// Gauge readings (absolute, point-in-time), by name.
+        gauges: Vec<(String, i64)>,
+        /// Recent events serialized as JSONL (node-local timestamps;
+        /// the hub re-stamps them onto its own timeline).
+        events_jsonl: Vec<u8>,
+    },
 }
 
 /// Compose a per-broadcast tour id from the originating node and its
@@ -116,11 +153,12 @@ impl Message {
             | Message::OptimumFound { from, .. }
             | Message::Leave { from }
             | Message::Ping { from }
-            | Message::Pong { from }
+            | Message::Pong { from, .. }
             | Message::BestRequest { from }
             | Message::BestReply { from, .. }
             | Message::HubClaim { from, .. }
-            | Message::LogSnapshot { from, .. } => from,
+            | Message::LogSnapshot { from, .. }
+            | Message::Telemetry { from, .. } => from,
         }
     }
 
@@ -132,10 +170,27 @@ impl Message {
                 1 + 8 + 8 + 8 + 4 + 4 * order.len()
             }
             Message::OptimumFound { .. } => 1 + 8 + 8,
-            Message::Leave { .. } | Message::Ping { .. } | Message::Pong { .. } => 1 + 8,
+            Message::Leave { .. } | Message::Ping { .. } => 1 + 8,
+            Message::Pong { .. } => 1 + 8 + 8,
             Message::BestRequest { .. } => 1 + 8,
             Message::HubClaim { .. } => 1 + 8 + 8,
             Message::LogSnapshot { entries, .. } => 1 + 8 + 4 + 17 * entries.len(),
+            Message::Telemetry {
+                counters,
+                gauges,
+                events_jsonl,
+                ..
+            } => {
+                // tag + from + t_ns + rtt_ns + best_len + clk_calls
+                // + stalled + three length-prefixed sections.
+                1 + 8 + 8 + 8 + 8 + 8 + 1
+                    + 4
+                    + counters.iter().map(|(n, _)| 2 + n.len() + 8).sum::<usize>()
+                    + 4
+                    + gauges.iter().map(|(n, _)| 2 + n.len() + 8).sum::<usize>()
+                    + 4
+                    + events_jsonl.len()
+            }
         }
     }
 }
@@ -166,7 +221,7 @@ mod tests {
     #[test]
     fn from_extracts_sender_liveness_and_resync() {
         assert_eq!(Message::Ping { from: 4 }.from(), 4);
-        assert_eq!(Message::Pong { from: 5 }.from(), 5);
+        assert_eq!(Message::Pong { from: 5, t_ns: 123 }.from(), 5);
         assert_eq!(Message::BestRequest { from: 6 }.from(), 6);
         assert_eq!(
             Message::BestReply {
@@ -197,6 +252,40 @@ mod tests {
         };
         assert_eq!(a.wire_size(), b.wire_size());
         assert_eq!(Message::Ping { from: 0 }.wire_size(), 9);
+        // Pong additionally carries the responder's clock.
+        assert_eq!(Message::Pong { from: 0, t_ns: 0 }.wire_size(), 17);
+    }
+
+    #[test]
+    fn telemetry_wire_size_counts_sections() {
+        let empty = Message::Telemetry {
+            from: 0,
+            t_ns: 0,
+            rtt_ns: 0,
+            best_len: 0,
+            clk_calls: 0,
+            stalled: false,
+            counters: vec![],
+            gauges: vec![],
+            events_jsonl: vec![],
+        };
+        // tag + 5×u64/i64 + bool + three u32 section lengths.
+        assert_eq!(empty.wire_size(), 1 + 5 * 8 + 1 + 3 * 4);
+        let loaded = Message::Telemetry {
+            from: 0,
+            t_ns: 0,
+            rtt_ns: 0,
+            best_len: 0,
+            clk_calls: 0,
+            stalled: true,
+            counters: vec![("ab".into(), 1)],
+            gauges: vec![("xyz".into(), -2)],
+            events_jsonl: b"{}\n".to_vec(),
+        };
+        assert_eq!(
+            loaded.wire_size() - empty.wire_size(),
+            (2 + 2 + 8) + (2 + 3 + 8) + 3
+        );
     }
 
     #[test]

@@ -154,6 +154,13 @@ struct Shared {
     neighbors: RwLock<Vec<NodeId>>,
     /// Per-peer last-seen clock, refreshed on every inbound frame.
     last_seen: Mutex<HashMap<NodeId, Instant>>,
+    /// Outstanding liveness-probe send times (local obs clock, ns) by
+    /// peer — consumed by the matching pong to estimate RTT.
+    ping_sent: Mutex<HashMap<NodeId, u64>>,
+    /// Latest `(rtt_ns, offset_ns)` estimate per peer, where offset is
+    /// the peer's obs clock minus ours (`t_remote - (t_send + rtt/2)`).
+    /// Telemetry consumers use these to align cross-node timelines.
+    clock_stats: Mutex<HashMap<NodeId, (u64, i64)>>,
     /// Peers declared down since the last `take_peer_downs` drain.
     peer_downs: Mutex<Vec<NodeId>>,
     /// Monotonic link-generation counter (see [`Peer::gen`]).
@@ -247,6 +254,25 @@ impl TcpHandle {
     pub fn disconnect(&self, peer: NodeId) {
         drop_peer(&self.shared, peer);
     }
+
+    /// Latest Ping/Pong-derived `(rtt_ns, offset_ns)` estimate for a
+    /// peer, where `offset_ns` is the peer's obs clock minus ours.
+    /// `None` until the liveness prober has completed a round trip to
+    /// that peer (requires [`TcpConfig::liveness_timeout`]).
+    pub fn clock_stats(&self, peer: NodeId) -> Option<(u64, i64)> {
+        self.shared.clock_stats.lock().get(&peer).copied()
+    }
+
+    /// All per-peer `(peer, rtt_ns, offset_ns)` estimates gathered so
+    /// far, in unspecified order.
+    pub fn all_clock_stats(&self) -> Vec<(NodeId, u64, i64)> {
+        self.shared
+            .clock_stats
+            .lock()
+            .iter()
+            .map(|(&p, &(rtt, off))| (p, rtt, off))
+            .collect()
+    }
 }
 
 impl TcpEndpoint {
@@ -279,6 +305,8 @@ impl TcpEndpoint {
             peers: Mutex::new(HashMap::new()),
             neighbors: RwLock::new(Vec::new()),
             last_seen: Mutex::new(HashMap::new()),
+            ping_sent: Mutex::new(HashMap::new()),
+            clock_stats: Mutex::new(HashMap::new()),
             peer_downs: Mutex::new(Vec::new()),
             link_gen: AtomicU64::new(0),
             down_hook: Mutex::new(None),
@@ -482,6 +510,8 @@ fn drop_peer(shared: &Shared, peer: NodeId) {
     });
     shared.neighbors.write().retain(|&n| n != peer);
     shared.last_seen.lock().remove(&peer);
+    shared.ping_sent.lock().remove(&peer);
+    shared.clock_stats.lock().remove(&peer);
     if known.is_some() {
         shared.peer_downs.lock().push(peer);
         shared
@@ -548,6 +578,10 @@ fn probe_loop(shared: Arc<Shared>, timeout: Duration) {
                 drop_peer(&shared, p);
             } else if tx.try_send(Message::Ping { from: self_id }).is_ok() {
                 shared.probes.g_queue.add(1);
+                // Stamp the send so the matching pong yields an RTT
+                // and clock-offset estimate (enqueue time; the queue
+                // is empty on an idle link, so the skew is small).
+                shared.ping_sent.lock().insert(p, shared.obs.t_ns());
             }
             // A full queue means the peer is stalled; skip the probe —
             // the silence will trip the timeout by itself.
@@ -647,12 +681,29 @@ fn reader_loop(mut stream: TcpStream, peer: NodeId, gen: u64, shared: Arc<Shared
                         let self_id = shared.id.load(Ordering::Relaxed);
                         let tx = shared.peers.lock().get(&peer).map(|p| p.tx.clone());
                         if let Some(tx) = tx {
-                            if tx.try_send(Message::Pong { from: self_id }).is_ok() {
+                            let pong = Message::Pong {
+                                from: self_id,
+                                t_ns: shared.obs.t_ns(),
+                            };
+                            if tx.try_send(pong).is_ok() {
                                 shared.probes.g_queue.add(1);
                             }
                         }
                     }
-                    Message::Pong { .. } => {}
+                    Message::Pong { t_ns: t_remote, .. } => {
+                        // Close the probe round trip: estimate the
+                        // peer's RTT and clock offset for cross-node
+                        // timeline alignment.
+                        if let Some(t_send) = shared.ping_sent.lock().remove(&peer) {
+                            let now = shared.obs.t_ns();
+                            let rtt = now.saturating_sub(t_send);
+                            let offset = (t_remote as i128
+                                - (t_send as i128 + rtt as i128 / 2))
+                                .clamp(i64::MIN as i128, i64::MAX as i128)
+                                as i64;
+                            shared.clock_stats.lock().insert(peer, (rtt, offset));
+                        }
+                    }
                     other => {
                         let leaving = matches!(other, Message::Leave { .. });
                         if shared.inbox_tx.send(other).is_err() {
@@ -1022,6 +1073,29 @@ mod tests {
             recv_with_timeout(&mut b, 2000),
             Some(Message::OptimumFound { from: 0, length: 5 })
         );
+    }
+
+    /// The liveness prober's ping/pong round trip yields an RTT and
+    /// clock-offset estimate for each peer, readable from the handle.
+    #[test]
+    fn probe_round_trip_estimates_rtt_and_offset() {
+        let cfg = TcpConfig::fast_fail().with_liveness(Duration::from_millis(200));
+        let obs_a = Obs::for_node(0);
+        let a = TcpEndpoint::bind_with_obs(0, "127.0.0.1:0", cfg.clone(), obs_a).unwrap();
+        let b = TcpEndpoint::bind_with_obs(1, "127.0.0.1:0", cfg, Obs::for_node(1)).unwrap();
+        a.connect_to(1, b.listen_addr()).unwrap();
+        let h = a.handle();
+        let got = wait_until(|| h.clock_stats(1).is_some(), Duration::from_secs(5));
+        assert!(got, "no RTT/offset estimate after probing");
+        let (rtt, _offset) = h.clock_stats(1).unwrap();
+        if obs_api::ENABLED {
+            // A loopback round trip is fast but not instant.
+            assert!(rtt > 0 && rtt < 5_000_000_000, "implausible rtt {rtt}");
+        }
+        assert_eq!(h.all_clock_stats().len(), 1);
+        // Dropping the peer clears its estimates.
+        h.disconnect(1);
+        assert!(h.clock_stats(1).is_none());
     }
 
     /// The peer-down hook fires once per death, outside the locks.
