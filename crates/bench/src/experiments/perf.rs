@@ -497,9 +497,8 @@ fn write_bench_json(
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    let path = Report::out_dir().join("BENCH_lk.json");
-    match std::fs::write(&path, json) {
-        Ok(()) => report.para(&format!("Machine-readable: `{}`.", path.display())),
+    match crate::report::merge_bench_json("perf", &json) {
+        Ok(path) => report.para(&format!("Machine-readable: `{}` (section `perf`).", path.display())),
         Err(e) => report.para(&format!("_Failed to write BENCH_lk.json: {e}._")),
     }
 }

@@ -10,7 +10,7 @@
 //! cargo run -p bench -- list
 //! ```
 
-use bench::experiments::{self, churn, hub_failover, monitor, perf, profile};
+use bench::experiments::{self, churn, hub_failover, monitor, perf, profile, shard};
 use bench::testbed::Scale;
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
             println!("       bench churn [--smoke]  # seeded kill/revive chaos sweep");
             println!("       bench hub-failover [--smoke]  # hub death, election, epoch fencing");
             println!("       bench monitor [--smoke]  # live mid-run telemetry scrape over TCP");
+            println!("       bench shard [--smoke]  # divide-and-optimize sharding, 200k -> 1M");
         }
         "all" => {
             for id in experiments::ALL {
@@ -52,6 +53,10 @@ fn main() {
         "monitor" => {
             // Live telemetry plane end-to-end; --smoke caps it for CI.
             monitor::run_mode(smoke).write().expect("write report");
+        }
+        "shard" => {
+            // Divide-and-optimize sweep; --smoke caps it for CI.
+            shard::run_mode(smoke).write().expect("write report");
         }
         "profile" => {
             let report = match positional.next() {

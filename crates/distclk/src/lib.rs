@@ -33,6 +33,7 @@ pub mod churn;
 pub mod driver;
 pub mod node;
 pub mod perturb;
+pub mod shard;
 
 pub use churn::{run_lockstep_churn, ChurnAction, ChurnSchedule};
 pub use driver::{
@@ -41,6 +42,10 @@ pub use driver::{
 };
 pub use node::{DistConfig, NodeDriver, NodeEvent, NodeResult};
 pub use perturb::{PerturbAction, Perturbator};
+pub use shard::{
+    node_of_shard, run_sharded_threads, run_sharded_threads_with_obs, validate_shard_result,
+    ShardDistConfig, ShardDistResult, RESOLVED_LOCALLY,
+};
 
 /// Build the candidate lists a distributed run's config asks for
 /// (`cfg.clk.candidates` of width `cfg.clk.neighbor_k`). The drivers

@@ -976,6 +976,10 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                         self.gossip(changed, Some(from));
                     }
                 }
+                // Shard results belong to the sharded driver's
+                // collector loop (`crate::shard`); a replicated-search
+                // node receiving one ignores it.
+                Message::ShardResult { .. } => {}
             }
         }
         // With the inbox folded in, the replica's view is as fresh as

@@ -22,6 +22,9 @@
 //! - [`multilevel`] — Walshaw-style multilevel coarsening around CLK.
 //! - [`tour_merge`] — union-graph tour merging in the spirit of Cook &
 //!   Seymour.
+//! - [`shard`] — divide-and-optimize sharding: spatial partition,
+//!   per-shard CLK, boundary stitching, and windowed seam refinement
+//!   for instances beyond one node's working set.
 //!
 //! All randomness is injected through explicit RNGs; all searches are
 //! allocation-free on their hot paths (buffers live in [`Optimizer`]).
@@ -36,10 +39,10 @@ pub mod lkh_lite;
 pub mod multilevel;
 pub mod or_opt;
 pub mod search;
+pub mod shard;
 pub mod three_opt;
 pub mod tour_merge;
 pub mod two_opt;
-pub mod two_opt_tl;
 
 pub use budget::{Budget, Stopwatch, Trace};
 pub use candidates::{build_candidate_lists, CandidateKind};
@@ -47,3 +50,4 @@ pub use chained::{ChainedLk, ChainedLkConfig, ClkEngine, ClkResult};
 pub use kick::{Kick, KickStrategy};
 pub use lin_kernighan::LkConfig;
 pub use search::Optimizer;
+pub use shard::{shard_solve, ShardConfig, ShardSolveResult, ShardStats};

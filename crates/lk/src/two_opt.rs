@@ -155,4 +155,66 @@ mod tests {
         let gain = two_opt(&mut opt, &mut tour);
         assert_eq!(before - gain, tour.length(&inst));
     }
+
+    #[test]
+    fn two_level_matches_array_quality() {
+        use tsp_core::{TourOps, TwoLevelList};
+        let inst = generate::uniform(400, 100_000.0, 51);
+        let nl = NeighborLists::build(&inst, 8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let start = Tour::random(400, &mut rng);
+
+        // Array engine.
+        let mut array_tour = start.clone();
+        let mut opt = Optimizer::new(&inst, &nl);
+        let array_gain = two_opt(&mut opt, &mut array_tour);
+
+        // The same generic engine on a two-level list from the same
+        // start: trajectories are identical, so gains and final orders
+        // must match exactly.
+        let mut tl = TwoLevelList::from_tour(&start);
+        let before = start.length(&inst);
+        let mut opt = Optimizer::new(&inst, &nl);
+        let tl_gain = two_opt(&mut opt, &mut tl);
+        let tl_tour = tl.to_tour();
+        assert!(tl_tour.is_valid());
+        assert_eq!(tl_tour.length(&inst), before - tl_gain);
+        assert_eq!(array_gain, tl_gain);
+        assert_eq!(TourOps::to_order(&array_tour), TourOps::to_order(&tl));
+    }
+
+    #[test]
+    fn two_level_gain_accounting_on_families() {
+        use tsp_core::TwoLevelList;
+        for inst in [
+            generate::clustered_dimacs(200, 52),
+            generate::drill_plate(200, 53),
+        ] {
+            let nl = NeighborLists::build(&inst, 8);
+            let mut rng = SmallRng::seed_from_u64(2);
+            let start = Tour::random(200, &mut rng);
+            let before = start.length(&inst);
+            let mut tl = TwoLevelList::from_tour(&start);
+            let mut opt = Optimizer::new(&inst, &nl);
+            let gain = two_opt(&mut opt, &mut tl);
+            assert_eq!(tl.to_tour().length(&inst), before - gain, "{}", inst.name());
+            assert!(gain > 0);
+        }
+    }
+
+    #[test]
+    fn two_level_large_instance_smoke() {
+        use tsp_core::TwoLevelList;
+        // 20k cities: array 2-opt from random would be minutes; the
+        // two-level engine from a space-filling start finishes fast.
+        let inst = generate::uniform(20_000, 1_000_000.0, 54);
+        let nl = NeighborLists::build(&inst, 6);
+        let start = crate::construct::space_filling(&inst);
+        let before = start.length(&inst);
+        let mut tl = TwoLevelList::from_tour(&start);
+        let mut opt = Optimizer::new(&inst, &nl);
+        let gain = two_opt(&mut opt, &mut tl);
+        assert!(gain > 0);
+        assert_eq!(tl.to_tour().length(&inst), before - gain);
+    }
 }

@@ -1,0 +1,84 @@
+//! Property tests for the divide-and-optimize pipeline: partition →
+//! per-shard CLK → stitch → seam refinement must always yield a valid
+//! permutation whose reported length recomputes exactly under the
+//! metric, the whole pipeline must be bit-stable under a fixed seed,
+//! and the one-shard configuration must collapse to the unsharded
+//! engine bit-for-bit.
+
+use proptest::prelude::*;
+use tsp_core::generate;
+
+use lk::shard::{shard_solve, ShardConfig};
+use lk::{Budget, ClkEngine};
+
+/// A fast pipeline config: tiny kick budgets, small refinement windows.
+fn cfg(shards: usize, seed: u64) -> ShardConfig {
+    let mut c = ShardConfig {
+        shards,
+        kicks_per_shard: 5,
+        window: 48,
+        ..ShardConfig::default()
+    };
+    c.clk.seed = seed;
+    c
+}
+
+/// Recompute a cyclic order's length directly from the metric.
+fn cycle_length(inst: &tsp_core::Instance, order: &[u32]) -> i64 {
+    let mut len = 0i64;
+    for i in 0..order.len() {
+        len += inst.dist(order[i] as usize, order[(i + 1) % order.len()] as usize);
+    }
+    len
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Partition → solve → stitch yields a valid permutation and the
+    /// reported length is exactly the recomputed cycle length.
+    #[test]
+    fn pipeline_yields_valid_permutation_with_exact_length(
+        n in 16usize..400,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed);
+        let res = shard_solve(&inst, &cfg(shards, seed));
+        prop_assert!(res.tour.is_valid(), "not a permutation");
+        prop_assert_eq!(res.length, cycle_length(&inst, res.tour.order()));
+        prop_assert_eq!(res.length, res.stats.stitched_length - res.stats.refine_gain);
+    }
+
+    /// The pipeline is a pure function of (instance, config).
+    #[test]
+    fn fixed_seed_rerun_is_bit_identical(
+        n in 16usize..300,
+        shards in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed);
+        let c = cfg(shards, seed);
+        let a = shard_solve(&inst, &c);
+        let b = shard_solve(&inst, &c);
+        prop_assert_eq!(a.tour.order(), b.tour.order());
+        prop_assert_eq!(a.length, b.length);
+    }
+
+    /// One shard means no partition, no stitch, no seams: exactly the
+    /// plain engine under the same seed and budget.
+    #[test]
+    fn one_shard_is_bit_identical_to_unsharded_engine(
+        n in 16usize..300,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::uniform(n, 10_000.0, seed);
+        let c = cfg(1, seed);
+        let sharded = shard_solve(&inst, &c);
+        let nl = c.clk.build_neighbors(&inst);
+        let mut engine = ClkEngine::auto(&inst, &nl, c.clk.clone());
+        let plain = engine.run(&Budget::kicks(c.kicks_per_shard));
+        prop_assert_eq!(sharded.tour.order(), plain.tour.order());
+        prop_assert_eq!(sharded.length, plain.length);
+    }
+}

@@ -82,6 +82,16 @@ pub mod kinds {
     pub const CLK_STALL: &str = "clk.stall";
     /// Counter: stall-detector firings.
     pub const C_STALLS: &str = "clk.stalls";
+    /// Counter: subregions solved by the sharded pipeline. Histograms:
+    /// `shard.solve.ns`, `shard.stitch.ns`, `shard.refine.ns`.
+    pub const C_SHARDS_SOLVED: &str = "shard.solved";
+    /// Counter: distinct seam cities enqueued for windowed refinement.
+    pub const C_SHARD_SEAM_CITIES: &str = "shard.seam_cities";
+    /// Counter: total tour length recovered by seam refinement.
+    pub const C_SHARD_REFINE_GAIN: &str = "shard.refine_gain";
+    /// Counter: shard results rejected by the collector's validation
+    /// (bad membership, wrong length, out-of-range shard id).
+    pub const C_SHARD_REJECTS: &str = "shard.rejects";
 }
 
 use std::borrow::Cow;

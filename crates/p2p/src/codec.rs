@@ -22,6 +22,7 @@ const TAG_BEST_REPLY: u8 = 7;
 const TAG_HUB_CLAIM: u8 = 8;
 const TAG_LOG_SNAPSHOT: u8 = 9;
 const TAG_TELEMETRY: u8 = 10;
+const TAG_SHARD_RESULT: u8 = 11;
 
 /// Longest accepted metric name inside a Telemetry frame (real names
 /// are short dotted paths like `node.clk_calls`).
@@ -181,6 +182,21 @@ pub fn encode(msg: &Message) -> Bytes {
             }
             buf.put_u32_le(events_jsonl.len() as u32);
             buf.put_slice(events_jsonl);
+        }
+        Message::ShardResult {
+            from,
+            shard,
+            length,
+            order,
+        } => {
+            buf.put_u8(TAG_SHARD_RESULT);
+            buf.put_u64_le(*from as u64);
+            buf.put_u32_le(*shard);
+            buf.put_i64_le(*length);
+            buf.put_u32_le(order.len() as u32);
+            for &c in order {
+                buf.put_u32_le(c);
+            }
         }
     }
     debug_assert_eq!(buf.len(), 4 + body_len);
@@ -350,6 +366,28 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
                 counters,
                 gauges,
                 events_jsonl,
+            })
+        }
+        TAG_SHARD_RESULT => {
+            if payload.remaining() < 8 + 4 + 8 + 4 {
+                return Err(err("truncated ShardResult header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let shard = payload.get_u32_le();
+            let length = payload.get_i64_le();
+            let n = payload.get_u32_le() as usize;
+            if payload.remaining() != 4 * n {
+                return Err(err("ShardResult order length mismatch"));
+            }
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(payload.get_u32_le());
+            }
+            Ok(Message::ShardResult {
+                from,
+                shard,
+                length,
+                order,
             })
         }
         t => Err(err(&format!("unknown tag {t}"))),
@@ -560,6 +598,45 @@ mod tests {
         // Stall flag outside {0, 1}.
         let mut bad = payload.to_vec();
         bad[count_at - 1] = 7;
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn roundtrip_shard_result() {
+        roundtrip(Message::ShardResult {
+            from: 3,
+            shard: 17,
+            length: 123_456_789,
+            order: (1000..1777).collect(),
+        });
+        roundtrip(Message::ShardResult {
+            from: 0,
+            shard: 0,
+            length: i64::MIN,
+            order: vec![],
+        });
+    }
+
+    #[test]
+    fn rejects_corrupt_shard_result() {
+        let frame = encode(&Message::ShardResult {
+            from: 2,
+            shard: 5,
+            length: 999,
+            order: (0..48).collect(),
+        });
+        let payload = &frame[4..];
+        assert!(decode(payload).is_ok());
+        for cut in 1..payload.len() {
+            assert!(
+                decode(&payload[..cut]).is_err(),
+                "truncation at {cut} bytes accepted"
+            );
+        }
+        // City count claiming more entries than bytes present.
+        let mut bad = payload.to_vec();
+        let count_at = 1 + 8 + 4 + 8;
+        bad[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode(&bad).is_err());
     }
 

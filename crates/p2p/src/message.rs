@@ -135,6 +135,22 @@ pub enum Message {
         /// the hub re-stamps them onto its own timeline).
         events_jsonl: Vec<u8>,
     },
+    /// A solved subregion of a sharded (divide-and-optimize) run: the
+    /// sub-tour of one spatial shard, sent by the worker that solved it
+    /// to the collector node. Carried in *global* city ids; the
+    /// collector validates membership against its own deterministic
+    /// partition and recomputes the length before accepting, and
+    /// winner-merges duplicates by `(length, shard id, sender)`.
+    ShardResult {
+        /// Worker that solved the shard.
+        from: NodeId,
+        /// Shard index in the deterministic partition.
+        shard: u32,
+        /// Sub-tour length as computed by the worker.
+        length: i64,
+        /// Sub-tour visiting order in global city ids.
+        order: Vec<u32>,
+    },
 }
 
 /// Compose a per-broadcast tour id from the originating node and its
@@ -158,7 +174,8 @@ impl Message {
             | Message::BestReply { from, .. }
             | Message::HubClaim { from, .. }
             | Message::LogSnapshot { from, .. }
-            | Message::Telemetry { from, .. } => from,
+            | Message::Telemetry { from, .. }
+            | Message::ShardResult { from, .. } => from,
         }
     }
 
@@ -169,6 +186,8 @@ impl Message {
             Message::TourFound { order, .. } | Message::BestReply { order, .. } => {
                 1 + 8 + 8 + 8 + 4 + 4 * order.len()
             }
+            // tag + from + shard + length + count + cities.
+            Message::ShardResult { order, .. } => 1 + 8 + 4 + 8 + 4 + 4 * order.len(),
             Message::OptimumFound { .. } => 1 + 8 + 8,
             Message::Leave { .. } | Message::Ping { .. } => 1 + 8,
             Message::Pong { .. } => 1 + 8 + 8,
@@ -319,6 +338,19 @@ mod tests {
         };
         assert_eq!(empty.wire_size(), 13);
         assert_eq!(two.wire_size() - empty.wire_size(), 2 * 17);
+    }
+
+    #[test]
+    fn shard_result_sender_and_wire_size() {
+        let msg = Message::ShardResult {
+            from: 9,
+            shard: 4,
+            length: 321,
+            order: (0..25).collect(),
+        };
+        assert_eq!(msg.from(), 9);
+        // tag + from + shard + length + count + 25 cities.
+        assert_eq!(msg.wire_size(), 1 + 8 + 4 + 8 + 4 + 4 * 25);
     }
 
     #[test]

@@ -49,14 +49,16 @@ pub mod instance;
 pub mod kdtree;
 pub mod metric;
 pub mod neighbors;
+pub mod partition;
 pub mod tour;
 pub mod tourops;
 pub mod tsplib;
 pub mod twolevel;
 
 pub use instance::{Instance, Point};
-pub use metric::Metric;
+pub use metric::{Metric, SoaCoords};
 pub use neighbors::NeighborLists;
+pub use partition::{Partition, PartitionNode, SubInstance};
 pub use tour::Tour;
 pub use tourops::{TourOps, TourRep};
 pub use twolevel::TwoLevelList;

@@ -9,7 +9,8 @@
 //! ```
 
 use dist_clk::lk::construct::space_filling;
-use dist_clk::lk::two_opt_tl::two_opt_tl;
+use dist_clk::lk::two_opt::two_opt;
+use dist_clk::lk::Optimizer;
 use dist_clk::tsp_core::{generate, NeighborLists, TwoLevelList};
 
 fn main() {
@@ -34,7 +35,8 @@ fn main() {
 
     let mut tl = TwoLevelList::from_tour(&start);
     let t = std::time::Instant::now();
-    let gain = two_opt_tl(&inst, &neighbors, &mut tl);
+    let mut opt = Optimizer::new(&inst, &neighbors);
+    let gain = two_opt(&mut opt, &mut tl);
     let secs = t.elapsed().as_secs_f64();
     let final_len = start_len - gain;
     println!(
