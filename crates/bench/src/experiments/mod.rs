@@ -11,6 +11,7 @@ pub mod messages;
 pub mod monitor;
 pub mod perf;
 pub mod profile;
+pub mod service;
 pub mod shard;
 pub mod table1;
 pub mod table2;
@@ -44,14 +45,15 @@ pub fn run(id: &str, scale: &Scale) -> Option<Report> {
         "profile" => profile::run(scale),
         "perf" => perf::run(scale),
         "shard" => shard::run(scale),
+        "service" => service::run(scale),
         _ => return None,
     };
     Some(report)
 }
 
 /// All experiment ids in suggested execution order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "table3", "table4", "table5", "table1", "table2", "figure2", "figure3", "messages",
     "variator", "ablation", "faults", "churn", "hub-failover", "monitor", "profile", "perf",
-    "shard",
+    "shard", "service",
 ];

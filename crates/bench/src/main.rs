@@ -10,7 +10,7 @@
 //! cargo run -p bench -- list
 //! ```
 
-use bench::experiments::{self, churn, hub_failover, monitor, perf, profile, shard};
+use bench::experiments::{self, churn, hub_failover, monitor, perf, profile, service, shard};
 use bench::testbed::Scale;
 
 fn main() {
@@ -31,6 +31,7 @@ fn main() {
             println!("       bench hub-failover [--smoke]  # hub death, election, epoch fencing");
             println!("       bench monitor [--smoke]  # live mid-run telemetry scrape over TCP");
             println!("       bench shard [--smoke]  # divide-and-optimize sharding, 200k -> 1M");
+            println!("       bench service [--smoke]  # multi-tenant job service over TCP");
         }
         "all" => {
             for id in experiments::ALL {
@@ -57,6 +58,10 @@ fn main() {
         "shard" => {
             // Divide-and-optimize sweep; --smoke caps it for CI.
             shard::run_mode(smoke).write().expect("write report");
+        }
+        "service" => {
+            // Multi-tenant job fleet over TCP; --smoke caps it for CI.
+            service::run_mode(smoke).write().expect("write report");
         }
         "profile" => {
             let report = match positional.next() {

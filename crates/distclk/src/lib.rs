@@ -31,8 +31,10 @@
 
 pub mod churn;
 pub mod driver;
+pub mod evolve;
 pub mod node;
 pub mod perturb;
+pub mod service;
 pub mod shard;
 
 pub use churn::{run_lockstep_churn, ChurnAction, ChurnSchedule};
@@ -40,8 +42,13 @@ pub use driver::{
     run_lockstep, run_lockstep_over, run_lockstep_telemetry_over, run_over_transports,
     run_over_transports_telemetry, run_threads, DistResult, TelemetryAttach,
 };
+pub use evolve::{evolve_hard, hard_suite, solve_effort, EvolveConfig};
 pub use node::{DistConfig, NodeDriver, NodeEvent, NodeResult};
 pub use perturb::{PerturbAction, Perturbator};
+pub use service::{
+    points_to_json, DoneReason, FlowBudget, FlowLedger, JobHandle, JobPayload, JobSpec, JobUpdate,
+    ServiceConfig, ServiceJobHandler, SolverService,
+};
 pub use shard::{
     node_of_shard, run_sharded_threads, run_sharded_threads_with_obs, validate_shard_result,
     ShardDistConfig, ShardDistResult, RESOLVED_LOCALLY,

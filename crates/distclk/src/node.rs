@@ -980,6 +980,14 @@ impl<'a, T: Transport> NodeDriver<'a, T> {
                 // collector loop (`crate::shard`); a replicated-search
                 // node receiving one ignores it.
                 Message::ShardResult { .. } => {}
+                // Job frames belong to the service layer
+                // (`crate::service`); a replicated-search node
+                // receiving one ignores it, like shard results.
+                Message::JobSubmit { .. }
+                | Message::JobAccept { .. }
+                | Message::JobImproved { .. }
+                | Message::JobDone { .. }
+                | Message::JobCancel { .. } => {}
             }
         }
         // With the inbox folded in, the replica's view is as fresh as

@@ -1,0 +1,1588 @@
+//! Solver-as-a-service: a long-lived, multi-tenant job layer over the
+//! cluster (the ROADMAP's top open item).
+//!
+//! The paper's system solves one instance per cluster bring-up; this
+//! module makes the cluster outlive any single job. A persistent
+//! [`SolverService`] runs a supervisor plus a pool of worker nodes over
+//! an in-process star network (`p2p` wire frames end to end, so the
+//! same protocol drives the TCP front-end). Clients submit a
+//! [`JobSpec`] — TSPLIB or JSON payload plus a deadline and/or quality
+//! budget — and receive a [`JobHandle`] streaming strictly improving
+//! tours back as they are found (anytime semantics), terminated by a
+//! single [`JobUpdate::Done`].
+//!
+//! Design points, in the order the ISSUE names them:
+//!
+//! - **Per-job engine state.** The [`crate::NodeDriver`] stays borrowed
+//!   to one instance for its lifetime; the decoupling happens one layer
+//!   up. Every accepted job gets its own solve thread owning its own
+//!   parsed [`Instance`], candidate lists, and a fresh single-node
+//!   driver — engine state is keyed by `job_id`, and one worker
+//!   multiplexes any number of concurrent jobs.
+//! - **Wire protocol.** Scheduling crosses the transport as the five
+//!   `Job*` frames (codec tags 12–16), ids minted by
+//!   [`p2p::job_id`]`(client, seq)` following the PR 2 broadcast-id
+//!   template. The TCP front-end ([`ServiceJobHandler`]) rides the
+//!   lifecycle hub's `JOB` command and is MOVED-fenced after failover
+//!   exactly like `METRICS`/`STATUS`.
+//! - **Churn survival.** The supervisor remembers each job's last
+//!   streamed best; when a worker dies the job is resubmitted to a
+//!   survivor with that tour as a checkpoint (PR 4's
+//!   [`crate::NodeDriver::restore`] blob — an encoded `TourFound`
+//!   frame, revalidated on restore). The kick budget restarts on the
+//!   new worker but the absolute deadline is preserved.
+//! - **Fairness.** Admission charges a per-client [`FlowBudget`] in a
+//!   [`FlowLedger`] before any effect, the semilattice flow-budget
+//!   idiom: `spent` merges by max (join), `limit` by min (meet), so
+//!   ledger replicas merge like the CRDT membership log and a failover
+//!   can never *refund* a tenant.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use lk::Budget;
+use obs_api::{kinds, Obs, Value};
+use p2p::codec::write_frame;
+use p2p::hub::JobHandler;
+use p2p::memory::MemoryEndpoint;
+use p2p::{job_id, InMemoryNetwork, Message, NetError, NodeId, Topology, Transport};
+use tsp_core::{Instance, Point};
+
+use crate::node::{DistConfig, NodeDriver};
+
+// ---------------------------------------------------------------------------
+// Terminal reasons
+// ---------------------------------------------------------------------------
+
+/// Why a job reached its terminal [`JobUpdate::Done`]. The `u8` codes
+/// are the wire values carried by `JobDone`/`JobCancel` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoneReason {
+    /// The kick budget ran out (code 0).
+    Budget,
+    /// The quality target was reached (code 1).
+    Target,
+    /// The deadline expired (code 2).
+    Deadline,
+    /// The client cancelled the job (code 3).
+    Cancelled,
+}
+
+impl DoneReason {
+    /// Wire code (must stay within `p2p::codec`'s `MAX_JOB_REASON`).
+    pub fn code(self) -> u8 {
+        match self {
+            DoneReason::Budget => 0,
+            DoneReason::Target => 1,
+            DoneReason::Deadline => 2,
+            DoneReason::Cancelled => 3,
+        }
+    }
+
+    /// Human-readable name (reports, logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            DoneReason::Budget => "budget",
+            DoneReason::Target => "target",
+            DoneReason::Deadline => "deadline",
+            DoneReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// Decode a wire code (total over the codec-validated range).
+    pub fn from_code(code: u8) -> DoneReason {
+        match code {
+            1 => DoneReason::Target,
+            2 => DoneReason::Deadline,
+            3 => DoneReason::Cancelled,
+            _ => DoneReason::Budget,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payloads and specs
+// ---------------------------------------------------------------------------
+
+/// A job's instance payload, in one of the two accepted formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPayload {
+    /// TSPLIB text (wire `payload_kind` 1), parsed by
+    /// [`tsp_core::tsplib::parse_instance`].
+    Tsplib(String),
+    /// A bare JSON array of `[x, y]` coordinate pairs (wire
+    /// `payload_kind` 2), e.g. `[[0,0],[3.5,1],[2,4]]`. EUC_2D metric.
+    Json(String),
+}
+
+impl JobPayload {
+    /// Wire `payload_kind` code.
+    pub fn kind(&self) -> u8 {
+        match self {
+            JobPayload::Tsplib(_) => 1,
+            JobPayload::Json(_) => 2,
+        }
+    }
+
+    /// Raw payload bytes for the wire frame.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            JobPayload::Tsplib(s) | JobPayload::Json(s) => s.as_bytes(),
+        }
+    }
+
+    /// Rebuild from wire fields.
+    pub fn from_wire(kind: u8, payload: &[u8]) -> Result<JobPayload, String> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| "payload is not UTF-8".to_string())?
+            .to_string();
+        match kind {
+            1 => Ok(JobPayload::Tsplib(text)),
+            2 => Ok(JobPayload::Json(text)),
+            k => Err(format!("unknown payload kind {k}")),
+        }
+    }
+
+    /// Parse into an [`Instance`]. Total: malformed payloads (including
+    /// fewer than 3 cities, which `Instance::new` would panic on) come
+    /// back as `Err`, never a panic — this is the admission filter for
+    /// adversarial submissions.
+    pub fn parse(&self) -> Result<Instance, String> {
+        match self {
+            JobPayload::Tsplib(text) => {
+                tsp_core::tsplib::parse_instance(text).map_err(|e| format!("tsplib: {e}"))
+            }
+            JobPayload::Json(text) => {
+                let pts = parse_json_points(text)?;
+                if pts.len() < 3 {
+                    return Err(format!("need at least 3 cities, got {}", pts.len()));
+                }
+                Ok(Instance::new(
+                    "json-job",
+                    pts.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+                    tsp_core::Metric::Euc2d,
+                ))
+            }
+        }
+    }
+}
+
+/// Minimal hand parser for the JSON points payload: a single array of
+/// two-element number arrays. No vendored JSON dependency exists, and
+/// the grammar is small enough that total, panic-free rejection of
+/// garbage is easy to audit.
+fn parse_json_points(text: &str) -> Result<Vec<(f64, f64)>, String> {
+    let mut chars = text.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    let number = |chars: &mut std::iter::Peekable<std::str::Chars>| -> Result<f64, String> {
+        let mut buf = String::new();
+        while chars
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        {
+            buf.push(chars.next().unwrap());
+        }
+        buf.parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| format!("bad number {buf:?}"))
+    };
+    skip_ws(&mut chars);
+    if chars.next() != Some('[') {
+        return Err("expected '[' opening the point list".into());
+    }
+    let mut pts = Vec::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some(']') => {
+                chars.next();
+                break;
+            }
+            Some('[') => {
+                chars.next();
+                skip_ws(&mut chars);
+                let x = number(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next() != Some(',') {
+                    return Err("expected ',' between coordinates".into());
+                }
+                skip_ws(&mut chars);
+                let y = number(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next() != Some(']') {
+                    return Err("expected ']' closing a point".into());
+                }
+                pts.push((x, y));
+                skip_ws(&mut chars);
+                match chars.peek() {
+                    Some(',') => {
+                        chars.next();
+                        skip_ws(&mut chars);
+                        if chars.peek() != Some(&'[') {
+                            return Err("trailing comma in point list".into());
+                        }
+                    }
+                    Some(']') => {}
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+            other => return Err(format!("expected '[' or ']', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing garbage after point list".into());
+    }
+    Ok(pts)
+}
+
+/// Serialize points to the JSON payload format (the inverse of
+/// [`JobPayload::Json`] parsing; used by tests and the bench client).
+pub fn points_to_json(pts: &[(f64, f64)]) -> String {
+    let body: Vec<String> = pts.iter().map(|(x, y)| format!("[{x},{y}]")).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Everything a client states about a solve job. At least one bound
+/// (kicks, deadline, or target) should be set; unbounded submissions
+/// are capped at [`ServiceConfig::default_kicks`] on admission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Engine master seed (bit-reproducible runs; see the conformance
+    /// test).
+    pub seed: u64,
+    /// CLK-call budget (`None` = unbounded on the wire).
+    pub kicks: Option<u64>,
+    /// Wall-clock deadline, measured from admission.
+    pub deadline: Option<Duration>,
+    /// Stop as soon as a tour of this length (or shorter) is found.
+    pub target: Option<i64>,
+    /// The instance.
+    pub payload: JobPayload,
+}
+
+impl JobSpec {
+    /// Spec with no bounds set (admission applies the default cap).
+    pub fn new(payload: JobPayload) -> Self {
+        JobSpec {
+            seed: 0,
+            kicks: None,
+            deadline: None,
+            target: None,
+            payload,
+        }
+    }
+
+    /// Set the engine seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bound the job by CLK calls.
+    pub fn kicks(mut self, kicks: u64) -> Self {
+        self.kicks = Some(kicks);
+        self
+    }
+
+    /// Bound the job by wall clock.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Stop at this quality target.
+    pub fn target(mut self, length: i64) -> Self {
+        self.target = Some(length);
+        self
+    }
+
+    /// Encode as a `JobSubmit` frame (fresh submission: `from`/`job`
+    /// zero — the scheduler assigns the id — and no checkpoint).
+    pub fn to_submit(&self, client: u64) -> Message {
+        Message::JobSubmit {
+            from: 0,
+            job: 0,
+            client,
+            seed: self.seed,
+            kicks: self.kicks.unwrap_or(0),
+            deadline_ms: self
+                .deadline
+                .map(|d| (d.as_millis() as u64).max(1))
+                .unwrap_or(0),
+            target: self.target.unwrap_or(i64::MIN),
+            payload_kind: self.payload.kind(),
+            payload: self.payload.bytes().to_vec(),
+            checkpoint: Vec::new(),
+        }
+    }
+
+    /// Decode a `JobSubmit` frame into `(client, spec, checkpoint)`.
+    pub fn from_submit(msg: &Message) -> Result<(u64, JobSpec, Vec<u8>), String> {
+        let Message::JobSubmit {
+            client,
+            seed,
+            kicks,
+            deadline_ms,
+            target,
+            payload_kind,
+            payload,
+            checkpoint,
+            ..
+        } = msg
+        else {
+            return Err("not a JobSubmit frame".into());
+        };
+        Ok((
+            *client,
+            JobSpec {
+                seed: *seed,
+                kicks: (*kicks > 0).then_some(*kicks),
+                deadline: (*deadline_ms > 0).then(|| Duration::from_millis(*deadline_ms)),
+                target: (*target != i64::MIN).then_some(*target),
+                payload: JobPayload::from_wire(*payload_kind, payload)?,
+            },
+            checkpoint.clone(),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fairness ledger (semilattice flow budget)
+// ---------------------------------------------------------------------------
+
+/// One tenant's flow budget: a join-semilattice pair. `spent` only
+/// grows (merge = max), `limit` only shrinks (merge = min), so merging
+/// replicas is idempotent, commutative, and associative — the same
+/// monotonicity discipline as the CRDT membership log it travels with,
+/// and a merge after failover can never hand a tenant budget back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowBudget {
+    /// Cumulative admission cost charged to this tenant.
+    pub spent: u64,
+    /// Ceiling; admission fails once `spent + cost > limit`.
+    pub limit: u64,
+}
+
+impl FlowBudget {
+    /// Fresh budget with nothing spent.
+    pub fn with_limit(limit: u64) -> Self {
+        FlowBudget { spent: 0, limit }
+    }
+
+    /// Semilattice merge: join on `spent`, meet on `limit`.
+    pub fn join(self, other: FlowBudget) -> FlowBudget {
+        FlowBudget {
+            spent: self.spent.max(other.spent),
+            limit: self.limit.min(other.limit),
+        }
+    }
+
+    /// Charge `cost` against the budget, *before* any effect of the
+    /// admission. `false` leaves the budget untouched.
+    pub fn charge(&mut self, cost: u64) -> bool {
+        if self.spent.saturating_add(cost) > self.limit {
+            return false;
+        }
+        self.spent += cost;
+        true
+    }
+
+    /// Admission headroom left.
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.spent)
+    }
+}
+
+/// The per-client fairness ledger: tenant id → [`FlowBudget`]. Absent
+/// tenants are implicitly `{spent: 0, limit: default_limit}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowLedger {
+    entries: BTreeMap<u64, FlowBudget>,
+    default_limit: u64,
+}
+
+impl FlowLedger {
+    /// Empty ledger; unseen tenants get `default_limit`.
+    pub fn new(default_limit: u64) -> Self {
+        FlowLedger {
+            entries: BTreeMap::new(),
+            default_limit,
+        }
+    }
+
+    /// Charge a tenant (materializing its entry on first contact).
+    /// Charging happens before the corresponding effect; a `false`
+    /// return must abort the admission.
+    pub fn charge(&mut self, client: u64, cost: u64) -> bool {
+        let default_limit = self.default_limit;
+        self.entries
+            .entry(client)
+            .or_insert_with(|| FlowBudget::with_limit(default_limit))
+            .charge(cost)
+    }
+
+    /// Read a tenant's budget (the implicit default when unseen).
+    pub fn get(&self, client: u64) -> FlowBudget {
+        self.entries
+            .get(&client)
+            .copied()
+            .unwrap_or(FlowBudget::with_limit(self.default_limit))
+    }
+
+    /// Pin a tenant's limit (meet: it can only shrink the effective
+    /// ceiling when merged with replicas).
+    pub fn set_limit(&mut self, client: u64, limit: u64) {
+        let e = self
+            .entries
+            .entry(client)
+            .or_insert_with(|| FlowBudget::with_limit(limit));
+        e.limit = e.limit.min(limit);
+    }
+
+    /// Semilattice merge with another replica (entry-wise
+    /// [`FlowBudget::join`]; the default limit meets too).
+    pub fn merge(&mut self, other: &FlowLedger) {
+        self.default_limit = self.default_limit.min(other.default_limit);
+        for (&client, &budget) in &other.entries {
+            let e = self
+                .entries
+                .entry(client)
+                .or_insert_with(|| FlowBudget::with_limit(budget.limit));
+            *e = e.join(budget);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service configuration and client-facing types
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`SolverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker-node count (the supervisor is an extra node 0 of the
+    /// internal star network).
+    pub workers: usize,
+    /// Engine template: `clk`, `c_v`/`c_r`, perturbation settings.
+    /// Per-job fields (`nodes`, `seed`, `budget`) are overridden from
+    /// each [`JobSpec`]; everything else applies to all jobs.
+    pub engine: DistConfig,
+    /// Fairness: default per-client admission budget (job count when
+    /// `job_cost` is 1).
+    pub default_limit: u64,
+    /// Admission cost of one job.
+    pub job_cost: u64,
+    /// Kick cap applied to submissions that set no bound at all.
+    pub default_kicks: u64,
+    /// How long past a job's deadline the supervisor waits for the
+    /// worker's own expiry before force-finishing the job itself (the
+    /// backstop that guarantees clean expiry even across worker death).
+    pub deadline_grace: Duration,
+    /// Supervisor/worker poll interval.
+    pub tick: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            engine: DistConfig::default(),
+            default_limit: 64,
+            job_cost: 1,
+            default_kicks: 64,
+            deadline_grace: Duration::from_secs(2),
+            tick: Duration::from_millis(1),
+        }
+    }
+}
+
+/// One update on a job's result stream. Lengths are monotone
+/// non-increasing across the `Improved` updates of one job, and `Done`
+/// is terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobUpdate {
+    /// The scheduler placed the job on a worker.
+    Accepted {
+        /// Worker node id.
+        worker: NodeId,
+    },
+    /// A strictly better tour was found.
+    Improved {
+        /// Tour length.
+        length: i64,
+        /// City order.
+        order: Vec<u32>,
+    },
+    /// Terminal state; no further updates follow.
+    Done {
+        /// Why the job ended.
+        reason: DoneReason,
+        /// Best length found (`i64::MAX` if no tour was ever produced).
+        length: i64,
+        /// Best tour found (empty if none).
+        order: Vec<u32>,
+    },
+}
+
+/// Client half of an accepted job: the assigned id plus the live
+/// update stream.
+pub struct JobHandle {
+    id: u64,
+    updates: Receiver<JobUpdate>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("id", &self.id).finish()
+    }
+}
+
+impl JobHandle {
+    /// The scheduler-assigned job id ([`p2p::job_id`] of client and
+    /// per-client sequence number).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block for the next update; `None` once the stream is closed
+    /// (after `Done`, or if the service shut down).
+    pub fn recv(&self) -> Option<JobUpdate> {
+        self.updates.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<JobUpdate> {
+        self.updates.try_recv().ok()
+    }
+
+    /// Drain the stream to its terminal update, returning
+    /// `(reason, best length, best order)` — plus every improvement
+    /// seen on the way, for stream-shape assertions.
+    #[allow(clippy::type_complexity)]
+    pub fn wait(self) -> Option<(DoneReason, i64, Vec<u32>, Vec<i64>)> {
+        let mut improvements = Vec::new();
+        while let Some(update) = self.recv() {
+            match update {
+                JobUpdate::Accepted { .. } => {}
+                JobUpdate::Improved { length, .. } => improvements.push(length),
+                JobUpdate::Done {
+                    reason,
+                    length,
+                    order,
+                } => return Some((reason, length, order, improvements)),
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor internals
+// ---------------------------------------------------------------------------
+
+enum Command {
+    Submit {
+        client: u64,
+        spec: JobSpec,
+        reply: Sender<Result<(u64, Receiver<JobUpdate>), String>>,
+    },
+    Cancel {
+        job: u64,
+        reason: DoneReason,
+    },
+    WorkerDead {
+        worker: NodeId,
+    },
+    MergeLedger {
+        other: FlowLedger,
+    },
+    Ledger {
+        reply: Sender<FlowLedger>,
+    },
+    Shutdown,
+}
+
+struct JobState {
+    client: u64,
+    spec: JobSpec,
+    worker: NodeId,
+    accepted: bool,
+    deadline: Option<Instant>,
+    /// Deadline-cancel already sent to the worker.
+    expiry_sent: bool,
+    best: Option<(i64, Vec<u32>)>,
+    subscriber: Sender<JobUpdate>,
+}
+
+struct Supervisor {
+    ep: MemoryEndpoint,
+    commands: Receiver<Command>,
+    cfg: ServiceConfig,
+    obs: Obs,
+    ledger: FlowLedger,
+    jobs: HashMap<u64, JobState>,
+    /// Per-client sequence numbers for id minting.
+    seqs: HashMap<u64, u32>,
+    /// Live workers (dead ones are removed, never revived — the
+    /// service keeps running degraded, like the paper's topology
+    /// "degenerating" near the end of a run).
+    alive: Vec<NodeId>,
+    load: HashMap<NodeId, usize>,
+}
+
+impl Supervisor {
+    fn run(mut self) {
+        loop {
+            // Inbox first: a worker's final frames beat its death
+            // notice when both are pending, so finished work is never
+            // thrown away by a reassignment.
+            for msg in self.ep.drain() {
+                self.on_frame(msg);
+            }
+            let mut shutdown = false;
+            while let Ok(cmd) = self.commands.try_recv() {
+                if self.on_command(cmd) {
+                    shutdown = true;
+                }
+            }
+            if shutdown {
+                break;
+            }
+            self.check_deadlines();
+            std::thread::sleep(self.cfg.tick);
+        }
+        // Terminal updates for anything still in flight, so client
+        // streams end cleanly instead of hanging on a dropped channel.
+        let jobs: Vec<u64> = self.jobs.keys().copied().collect();
+        for job in jobs {
+            self.finish_job(job, DoneReason::Cancelled, None);
+        }
+    }
+
+    fn on_command(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Submit {
+                client,
+                spec,
+                reply,
+            } => {
+                let _ = reply.send(self.admit(client, spec));
+            }
+            Command::Cancel { job, reason } => {
+                if let Some(state) = self.jobs.get(&job) {
+                    let worker = state.worker;
+                    let _ = self.ep.send(
+                        worker,
+                        Message::JobCancel {
+                            from: 0,
+                            job,
+                            reason: reason.code(),
+                        },
+                    );
+                }
+            }
+            Command::WorkerDead { worker } => self.on_worker_dead(worker),
+            Command::MergeLedger { other } => self.ledger.merge(&other),
+            Command::Ledger { reply } => {
+                let _ = reply.send(self.ledger.clone());
+            }
+            Command::Shutdown => return true,
+        }
+        false
+    }
+
+    fn admit(
+        &mut self,
+        client: u64,
+        mut spec: JobSpec,
+    ) -> Result<(u64, Receiver<JobUpdate>), String> {
+        self.obs.counter(kinds::C_SVC_SUBMITTED).incr();
+        // Validate before charging: a malformed payload is not the
+        // tenant's budget's problem.
+        if let Err(e) = spec.payload.parse() {
+            self.obs.counter(kinds::C_SVC_REJECTED).incr();
+            self.obs.event(
+                kinds::SVC_REJECT,
+                &[("client", Value::U(client)), ("why", Value::U(0))],
+            );
+            return Err(format!("bad payload: {e}"));
+        }
+        // Charge before any effect (the flow-budget discipline).
+        if !self.ledger.charge(client, self.cfg.job_cost) {
+            self.obs.counter(kinds::C_SVC_REJECTED).incr();
+            self.obs.event(
+                kinds::SVC_REJECT,
+                &[("client", Value::U(client)), ("why", Value::U(1))],
+            );
+            return Err(format!(
+                "flow budget exhausted for client {client} (limit {})",
+                self.ledger.get(client).limit
+            ));
+        }
+        if spec.kicks.is_none() && spec.deadline.is_none() && spec.target.is_none() {
+            spec.kicks = Some(self.cfg.default_kicks);
+        }
+        let seq = self.seqs.entry(client).or_insert(0);
+        let job = job_id(client, *seq);
+        *seq += 1;
+        let deadline = spec.deadline.map(|d| Instant::now() + d);
+        let (tx, rx) = unbounded();
+        let state = JobState {
+            client,
+            spec,
+            worker: 0,
+            accepted: false,
+            deadline,
+            expiry_sent: false,
+            best: None,
+            subscriber: tx,
+        };
+        self.jobs.insert(job, state);
+        if !self.dispatch(job, Vec::new()) {
+            self.jobs.remove(&job);
+            self.obs.counter(kinds::C_SVC_REJECTED).incr();
+            return Err("no live workers".into());
+        }
+        self.obs.counter(kinds::C_SVC_ACCEPTED).incr();
+        Ok((job, rx))
+    }
+
+    /// Place a job (fresh or reassigned) on the least-loaded live
+    /// worker (ties to the lowest id). `checkpoint` carries the last
+    /// streamed best on reassignment.
+    fn dispatch(&mut self, job: u64, checkpoint: Vec<u8>) -> bool {
+        loop {
+            let Some(&worker) = self
+                .alive
+                .iter()
+                .min_by_key(|&&w| (self.load.get(&w).copied().unwrap_or(0), w))
+            else {
+                return false;
+            };
+            let state = self.jobs.get_mut(&job).expect("dispatching unknown job");
+            let deadline_ms = match state.deadline {
+                Some(d) => d
+                    .saturating_duration_since(Instant::now())
+                    .as_millis()
+                    .max(1) as u64,
+                None => 0,
+            };
+            let msg = Message::JobSubmit {
+                from: 0,
+                job,
+                client: state.client,
+                seed: state.spec.seed,
+                kicks: state.spec.kicks.unwrap_or(0),
+                deadline_ms,
+                target: state.spec.target.unwrap_or(i64::MIN),
+                payload_kind: state.spec.payload.kind(),
+                payload: state.spec.payload.bytes().to_vec(),
+                checkpoint: checkpoint.clone(),
+            };
+            if self.ep.send(worker, msg).is_ok() {
+                state.worker = worker;
+                *self.load.entry(worker).or_insert(0) += 1;
+                return true;
+            }
+            // The worker died between liveness bookkeeping and this
+            // send; drop it and retry the next candidate.
+            self.alive.retain(|&w| w != worker);
+        }
+    }
+
+    fn on_frame(&mut self, msg: Message) {
+        match msg {
+            Message::JobAccept { job, worker, .. } => {
+                if let Some(state) = self.jobs.get_mut(&job) {
+                    if !state.accepted {
+                        state.accepted = true;
+                        let _ = state.subscriber.send(JobUpdate::Accepted {
+                            worker: worker as NodeId,
+                        });
+                        self.obs.event(
+                            kinds::SVC_ACCEPT,
+                            &[
+                                ("job", Value::U(job)),
+                                ("client", Value::U(state.client)),
+                                ("worker", Value::U(worker)),
+                            ],
+                        );
+                    }
+                }
+            }
+            Message::JobImproved {
+                job, length, order, ..
+            } => {
+                if let Some(state) = self.jobs.get_mut(&job) {
+                    // Relay only strict improvements over the tracked
+                    // best: the per-worker stream is already strictly
+                    // improving, but a reassigned job restarts from its
+                    // checkpoint and may re-announce equal-or-worse
+                    // tours. This filter is what makes the client
+                    // stream monotone decreasing unconditionally.
+                    if state.best.as_ref().is_none_or(|(l, _)| length < *l) {
+                        state.best = Some((length, order.clone()));
+                        let _ = state.subscriber.send(JobUpdate::Improved { length, order });
+                        self.obs.counter(kinds::C_SVC_IMPROVEMENTS).incr();
+                    }
+                }
+            }
+            Message::JobDone {
+                from,
+                job,
+                reason,
+                length,
+                order,
+            } => {
+                let stale_worker = match self.jobs.get(&job) {
+                    // A frame from a previous assignee that raced the
+                    // reassignment: keep its tour, ignore its verdict —
+                    // the new worker owns termination now.
+                    Some(state) if state.worker != from => true,
+                    Some(_) => false,
+                    None => return,
+                };
+                let payload = (length < i64::MAX && !order.is_empty()).then_some((length, order));
+                if stale_worker {
+                    if let Some((length, order)) = payload {
+                        self.on_frame(Message::JobImproved {
+                            from,
+                            job,
+                            length,
+                            order,
+                        });
+                    }
+                    return;
+                }
+                self.finish_job(job, DoneReason::from_code(reason), payload);
+            }
+            // Anything else on the supervisor port (stray tour gossip
+            // from embedded engines is impossible — each job runs a
+            // private 1-node network — but stay total).
+            _ => {}
+        }
+    }
+
+    /// Terminal transition: emit `Done` carrying the best tour seen
+    /// from any assignee, drop the job, release the worker-load slot.
+    fn finish_job(&mut self, job: u64, reason: DoneReason, last: Option<(i64, Vec<u32>)>) {
+        let Some(mut state) = self.jobs.remove(&job) else {
+            return;
+        };
+        if let Some((length, order)) = last {
+            if state.best.as_ref().is_none_or(|(l, _)| length < *l) {
+                state.best = Some((length, order));
+            }
+        }
+        if let Some(load) = self.load.get_mut(&state.worker) {
+            *load = load.saturating_sub(1);
+        }
+        let (length, order) = state.best.clone().unwrap_or((i64::MAX, Vec::new()));
+        // Book-keep *before* waking the subscriber: a client that sees
+        // the terminal update (possibly across a TCP hop) must also see
+        // the completion counters it implies.
+        self.obs.counter(kinds::C_SVC_COMPLETED).incr();
+        match reason {
+            DoneReason::Deadline => self.obs.counter(kinds::C_SVC_EXPIRED).incr(),
+            DoneReason::Cancelled => self.obs.counter(kinds::C_SVC_CANCELLED).incr(),
+            _ => {}
+        }
+        self.obs.event(
+            kinds::SVC_DONE,
+            &[
+                ("job", Value::U(job)),
+                ("reason", Value::U(reason.code() as u64)),
+                ("len", Value::I(length)),
+            ],
+        );
+        let _ = state.subscriber.send(JobUpdate::Done {
+            reason,
+            length,
+            order,
+        });
+    }
+
+    /// A worker died: reassign every job it carried to survivors,
+    /// restoring each from the last tour the supervisor streamed (the
+    /// checkpoint/restore path — zero accepted-job loss).
+    fn on_worker_dead(&mut self, worker: NodeId) {
+        self.alive.retain(|&w| w != worker);
+        self.load.remove(&worker);
+        let orphans: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, s)| s.worker == worker)
+            .map(|(&j, _)| j)
+            .collect();
+        for job in orphans {
+            let state = &self.jobs[&job];
+            if state
+                .deadline
+                .is_some_and(|d| Instant::now() >= d)
+            {
+                // Past deadline already: expire cleanly rather than
+                // burn a survivor on it.
+                self.finish_job(job, DoneReason::Deadline, None);
+                continue;
+            }
+            let checkpoint = state
+                .best
+                .as_ref()
+                .map(|(length, order)| {
+                    p2p::codec::encode(&Message::TourFound {
+                        from: 0,
+                        id: 0,
+                        length: *length,
+                        order: order.clone(),
+                    })
+                    .to_vec()
+                })
+                .unwrap_or_default();
+            if self.dispatch(job, checkpoint) {
+                let to = self.jobs[&job].worker;
+                self.obs.counter(kinds::C_SVC_REASSIGNED).incr();
+                self.obs.event(
+                    kinds::SVC_REASSIGN,
+                    &[
+                        ("job", Value::U(job)),
+                        ("from_worker", Value::U(worker as u64)),
+                        ("to_worker", Value::U(to as u64)),
+                    ],
+                );
+            } else {
+                self.finish_job(job, DoneReason::Cancelled, None);
+            }
+        }
+    }
+
+    /// Deadline enforcement: at expiry, nudge the worker with a cancel
+    /// (its own time budget normally fires first); `deadline_grace`
+    /// later, force-finish from the supervisor — the guarantee that
+    /// every job terminates even if its worker is wedged or dead.
+    fn check_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut expired = Vec::new();
+        for (&job, state) in self.jobs.iter_mut() {
+            let Some(deadline) = state.deadline else {
+                continue;
+            };
+            if now >= deadline + self.cfg.deadline_grace {
+                expired.push(job);
+            } else if now >= deadline && !state.expiry_sent {
+                state.expiry_sent = true;
+                let _ = self.ep.send(
+                    state.worker,
+                    Message::JobCancel {
+                        from: 0,
+                        job,
+                        reason: DoneReason::Deadline.code(),
+                    },
+                );
+            }
+        }
+        for job in expired {
+            self.finish_job(job, DoneReason::Deadline, None);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker internals
+// ---------------------------------------------------------------------------
+
+/// Cross-thread cancel slot: 0 = not cancelled, else `reason + 1`.
+#[derive(Default)]
+struct CancelSlot(AtomicU8);
+
+impl CancelSlot {
+    fn set(&self, reason: DoneReason) {
+        self.0.store(reason.code() + 1, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> Option<DoneReason> {
+        match self.0.load(Ordering::Relaxed) {
+            0 => None,
+            c => Some(DoneReason::from_code(c - 1)),
+        }
+    }
+}
+
+fn worker_loop(mut ep: MemoryEndpoint, cfg: ServiceConfig, stop: Arc<AtomicBool>) {
+    let id = ep.node_id();
+    let (tx, rx) = unbounded::<Message>();
+    let mut cancels: HashMap<u64, Arc<CancelSlot>> = HashMap::new();
+    while !stop.load(Ordering::Relaxed) {
+        for msg in ep.drain() {
+            match msg {
+                submit @ Message::JobSubmit { .. } => {
+                    let (Message::JobSubmit { job, .. }, Ok((_, spec, checkpoint))) =
+                        (&submit, JobSpec::from_submit(&submit))
+                    else {
+                        continue;
+                    };
+                    let job = *job;
+                    let cancel = Arc::new(CancelSlot::default());
+                    cancels.insert(job, Arc::clone(&cancel));
+                    let _ = ep.send(
+                        0,
+                        Message::JobAccept {
+                            from: id,
+                            job,
+                            worker: id as u64,
+                        },
+                    );
+                    let tx = tx.clone();
+                    let engine = cfg.engine.clone();
+                    std::thread::spawn(move || {
+                        solve_job(id, job, spec, checkpoint, engine, cancel, tx)
+                    });
+                }
+                Message::JobCancel { job, reason, .. } => {
+                    if let Some(slot) = cancels.get(&job) {
+                        slot.set(DoneReason::from_code(reason));
+                    }
+                }
+                _ => {}
+            }
+        }
+        while let Ok(msg) = rx.try_recv() {
+            if let Message::JobDone { job, .. } = &msg {
+                cancels.remove(job);
+            }
+            if ep.send(0, msg).is_err() {
+                // Supervisor gone: the service is shutting down.
+                return;
+            }
+        }
+        std::thread::sleep(cfg.tick);
+    }
+    // Killed: stop this worker's solve threads too (their results
+    // would be discarded anyway — the channel receiver dies with us).
+    for slot in cancels.values() {
+        slot.set(DoneReason::Cancelled);
+    }
+}
+
+/// One job's solve thread: a private single-node engine over its own
+/// one-node in-memory network. With no cancellation this is
+/// step-for-step the [`crate::run_over_transports`] loop
+/// (`while step(); finish()`), which is what the conformance suite
+/// pins: same seed and config ⇒ bit-identical tour.
+fn solve_job(
+    worker: NodeId,
+    job: u64,
+    spec: JobSpec,
+    checkpoint: Vec<u8>,
+    mut engine: DistConfig,
+    cancel: Arc<CancelSlot>,
+    tx: Sender<Message>,
+) {
+    let done = |reason: DoneReason, length: i64, order: Vec<u32>| Message::JobDone {
+        from: worker,
+        job,
+        reason: reason.code(),
+        length,
+        order,
+    };
+    let Ok(inst) = spec.payload.parse() else {
+        // Admission validated the payload; only a corrupted reassignment
+        // frame can land here.
+        let _ = tx.send(done(DoneReason::Cancelled, i64::MAX, Vec::new()));
+        return;
+    };
+    engine.nodes = 1;
+    engine.seed = spec.seed;
+    engine.budget = Budget {
+        time_limit: spec.deadline,
+        max_kicks: spec.kicks,
+        target_length: spec.target,
+    };
+    // Telemetry shipping would address frames to a hub peer that does
+    // not exist on the private network.
+    engine.telemetry_every = 0;
+    let neighbors = crate::build_neighbors(&inst, &engine);
+    let (mut eps, _) = InMemoryNetwork::build(1, engine.topology);
+    let mut node = NodeDriver::new(&inst, &neighbors, &engine, eps.remove(0));
+    if !checkpoint.is_empty() {
+        node.restore(&checkpoint);
+    }
+    // Stream the construction-time tour immediately: anytime semantics
+    // start at acceptance, not at the first kick.
+    let mut last = i64::MAX;
+    let ship = |node: &NodeDriver<MemoryEndpoint>, last: &mut i64| {
+        if node.best_length() < *last {
+            *last = node.best_length();
+            let blob = node.checkpoint();
+            if let Ok(Message::TourFound { length, order, .. }) =
+                p2p::codec::read_frame(&mut blob.as_slice())
+            {
+                let _ = tx.send(Message::JobImproved {
+                    from: worker,
+                    job,
+                    length,
+                    order,
+                });
+            }
+        }
+    };
+    ship(&node, &mut last);
+    let cancelled = loop {
+        if let Some(reason) = cancel.get() {
+            break Some(reason);
+        }
+        if !node.step() {
+            break None;
+        }
+        ship(&node, &mut last);
+    };
+    let result = node.finish();
+    // Attribute a natural stop to whichever bound actually tripped:
+    // target beats kicks beats deadline when several are set (the
+    // engine's own clock includes construction time, so the deadline
+    // verdict falls out by elimination rather than re-measuring).
+    let reason = cancelled.unwrap_or_else(|| {
+        if spec.target.is_some_and(|t| result.best_length <= t) {
+            DoneReason::Target
+        } else if spec.kicks.is_some_and(|k| result.clk_calls >= k) {
+            DoneReason::Budget
+        } else if spec.deadline.is_some() {
+            DoneReason::Deadline
+        } else {
+            DoneReason::Budget
+        }
+    });
+    let _ = tx.send(done(
+        reason,
+        result.best_length,
+        result.best_tour.order().to_vec(),
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A persistent, multi-tenant solve service: one supervisor thread plus
+/// [`ServiceConfig::workers`] worker threads over an internal star
+/// network, accepting jobs until [`SolverService::shutdown`] (or drop).
+pub struct SolverService {
+    commands: Sender<Command>,
+    net: InMemoryNetwork,
+    stops: Vec<Arc<AtomicBool>>,
+    threads: Vec<JoinHandle<()>>,
+    obs: Obs,
+}
+
+impl SolverService {
+    /// Bring up the cluster and start accepting jobs.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        assert!(cfg.workers >= 1, "a service needs at least one worker");
+        let obs = Obs::for_node(0);
+        let (net, mut endpoints) = InMemoryNetwork::create(cfg.workers + 1, Topology::Star);
+        let (cmd_tx, cmd_rx) = unbounded();
+        let mut threads = Vec::new();
+        let mut stops = Vec::new();
+        // Drain endpoints back-to-front so worker ids match indices.
+        let mut workers: Vec<MemoryEndpoint> = endpoints.split_off(1);
+        let supervisor_ep = endpoints.remove(0);
+        let supervisor = Supervisor {
+            ep: supervisor_ep,
+            commands: cmd_rx,
+            alive: (1..=cfg.workers as NodeId).collect(),
+            load: HashMap::new(),
+            ledger: FlowLedger::new(cfg.default_limit),
+            jobs: HashMap::new(),
+            seqs: HashMap::new(),
+            obs: obs.clone(),
+            cfg: cfg.clone(),
+        };
+        threads.push(
+            std::thread::Builder::new()
+                .name("svc-supervisor".into())
+                .spawn(move || supervisor.run())
+                .expect("spawn supervisor"),
+        );
+        for ep in workers.drain(..) {
+            let stop = Arc::new(AtomicBool::new(false));
+            stops.push(Arc::clone(&stop));
+            let cfg = cfg.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{}", ep.node_id()))
+                    .spawn(move || worker_loop(ep, cfg, stop))
+                    .expect("spawn worker"),
+            );
+        }
+        SolverService {
+            commands: cmd_tx,
+            net,
+            stops,
+            threads,
+            obs,
+        }
+    }
+
+    /// Submit a job for `client`. Blocks only for admission (payload
+    /// validation, fairness charge, placement); solving streams back on
+    /// the returned handle.
+    pub fn submit(&self, client: u64, spec: JobSpec) -> Result<JobHandle, String> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.commands
+            .send(Command::Submit {
+                client,
+                spec,
+                reply: reply_tx,
+            })
+            .map_err(|_| "service shut down".to_string())?;
+        let (id, updates) = reply_rx
+            .recv()
+            .map_err(|_| "service shut down".to_string())??;
+        Ok(JobHandle { id, updates })
+    }
+
+    /// Cancel a job (client-initiated, reason code 3).
+    pub fn cancel(&self, job: u64) {
+        let _ = self.commands.send(Command::Cancel {
+            job,
+            reason: DoneReason::Cancelled,
+        });
+    }
+
+    /// Crash worker `worker` (1-based node id): its endpoint is
+    /// unregistered, its loop stops, and the supervisor reassigns every
+    /// job it carried from the last streamed checkpoints.
+    pub fn kill_worker(&self, worker: NodeId) {
+        assert!(worker >= 1, "node 0 is the supervisor");
+        self.net.kill(worker);
+        if let Some(stop) = self.stops.get(worker - 1) {
+            stop.store(true, Ordering::Relaxed);
+        }
+        let _ = self.commands.send(Command::WorkerDead { worker });
+    }
+
+    /// Snapshot the fairness ledger (for replication / inspection).
+    pub fn ledger(&self) -> FlowLedger {
+        let (tx, rx) = bounded(1);
+        if self.commands.send(Command::Ledger { reply: tx }).is_err() {
+            return FlowLedger::new(0);
+        }
+        rx.recv().unwrap_or_else(|_| FlowLedger::new(0))
+    }
+
+    /// Merge a replica's ledger into the live one (failover path: the
+    /// new holder joins the old holder's last ledger so tenants keep
+    /// their `spent`).
+    pub fn merge_ledger(&self, other: FlowLedger) {
+        let _ = self.commands.send(Command::MergeLedger { other });
+    }
+
+    /// The service's observability handle (`svc.*` counters/events).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Stop accepting jobs, finish terminal updates for anything in
+    /// flight, and join all service threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.commands.send(Command::Shutdown);
+        for stop in &self.stops {
+            stop.store(true, Ordering::Relaxed);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP front-end: the hub's JOB command
+// ---------------------------------------------------------------------------
+
+/// Adapter registering a [`SolverService`] as the lifecycle hub's
+/// [`JobHandler`]: `p2p::hub::submit_job` connections stream
+/// `JobAccept`/`JobImproved*`/`JobDone` frames mirroring the handle's
+/// updates. Attach with [`ServiceJobHandler::attach`]; after a hub
+/// failover the old holder answers `MOVED` and submissions must chase
+/// the new holder, exactly like `METRICS`/`STATUS` scrapes.
+pub struct ServiceJobHandler {
+    service: Arc<SolverService>,
+}
+
+impl ServiceJobHandler {
+    /// Wrap a service for hub registration.
+    pub fn new(service: Arc<SolverService>) -> Self {
+        ServiceJobHandler { service }
+    }
+
+    /// Register on a running hub (`hub.set_job_handler`).
+    pub fn attach(service: Arc<SolverService>, hub: &p2p::hub::LifecycleHub) {
+        hub.set_job_handler(Arc::new(ServiceJobHandler::new(service)));
+    }
+}
+
+impl JobHandler for ServiceJobHandler {
+    fn handle(&self, first: Message, mut stream: TcpStream) -> Result<(), NetError> {
+        match first {
+            submit @ Message::JobSubmit { .. } => {
+                let (client, spec, _) = match JobSpec::from_submit(&submit) {
+                    Ok(parts) => parts,
+                    Err(e) => {
+                        writeln!(stream, "ERR {e}")?;
+                        return Ok(());
+                    }
+                };
+                let handle = match self.service.submit(client, spec) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        writeln!(stream, "ERR {e}")?;
+                        return Ok(());
+                    }
+                };
+                let job = handle.id();
+                writeln!(stream, "OK {job}")?;
+                stream.flush()?;
+                while let Some(update) = handle.recv() {
+                    let frame = match update {
+                        JobUpdate::Accepted { worker } => Message::JobAccept {
+                            from: 0,
+                            job,
+                            worker: worker as u64,
+                        },
+                        JobUpdate::Improved { length, order } => Message::JobImproved {
+                            from: 0,
+                            job,
+                            length,
+                            order,
+                        },
+                        JobUpdate::Done {
+                            reason,
+                            length,
+                            order,
+                        } => Message::JobDone {
+                            from: 0,
+                            job,
+                            reason: reason.code(),
+                            length,
+                            order,
+                        },
+                    };
+                    let terminal = matches!(frame, Message::JobDone { .. });
+                    if write_frame(&mut stream, &frame).is_err() {
+                        // Client hung up mid-stream: release its slot.
+                        self.service.cancel(job);
+                        return Ok(());
+                    }
+                    if terminal {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            Message::JobCancel { job, .. } => {
+                self.service.cancel(job);
+                writeln!(stream, "OK")?;
+                Ok(())
+            }
+            _ => {
+                writeln!(stream, "ERR expected JobSubmit or JobCancel")?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_payload(n: usize) -> JobPayload {
+        let side = (n as f64).sqrt().ceil() as usize;
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % side) as f64 * 10.0, (i / side) as f64 * 10.0))
+            .collect();
+        JobPayload::Json(points_to_json(&pts))
+    }
+
+    #[test]
+    fn json_points_roundtrip_and_rejection() {
+        let pts = vec![(0.0, 0.0), (3.5, -1.25), (100.0, 7.0)];
+        let text = points_to_json(&pts);
+        assert_eq!(parse_json_points(&text).unwrap(), pts);
+        assert_eq!(
+            parse_json_points(" [ [1 , 2.5] , [3,4] , [5,6] ] ").unwrap(),
+            vec![(1.0, 2.5), (3.0, 4.0), (5.0, 6.0)]
+        );
+        for bad in [
+            "",
+            "[",
+            "[[1,2]",
+            "[[1,2],]",
+            "[[1]]",
+            "[[1,2,3]]",
+            "[[1,2]] trailing",
+            "[[1,nan]]",
+            "[[1,inf]]",
+            "{\"pts\": []}",
+        ] {
+            assert!(parse_json_points(bad).is_err(), "accepted {bad:?}");
+        }
+        // Too few cities is an admission error, not a panic.
+        assert!(JobPayload::Json("[[0,0],[1,1]]".into()).parse().is_err());
+    }
+
+    #[test]
+    fn tsplib_payload_parses() {
+        let inst = grid_payload(9).parse().unwrap();
+        let text = tsp_core::tsplib::write_instance(&inst);
+        let reparsed = JobPayload::Tsplib(text).parse().unwrap();
+        assert_eq!(reparsed.len(), 9);
+    }
+
+    #[test]
+    fn spec_submit_roundtrip() {
+        let spec = JobSpec::new(grid_payload(16))
+            .seed(7)
+            .kicks(12)
+            .deadline(Duration::from_millis(1500))
+            .target(123);
+        let msg = spec.to_submit(42);
+        let (client, back, checkpoint) = JobSpec::from_submit(&msg).unwrap();
+        assert_eq!(client, 42);
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.kicks, Some(12));
+        assert_eq!(back.deadline, Some(Duration::from_millis(1500)));
+        assert_eq!(back.target, Some(123));
+        assert_eq!(back.payload, spec.payload);
+        assert!(checkpoint.is_empty());
+
+        // Unset bounds map through the wire sentinels.
+        let bare = JobSpec::new(grid_payload(16));
+        let (_, back, _) = JobSpec::from_submit(&bare.to_submit(1)).unwrap();
+        assert_eq!(back.kicks, None);
+        assert_eq!(back.deadline, None);
+        assert_eq!(back.target, None);
+    }
+
+    #[test]
+    fn flow_budget_semilattice_laws() {
+        let a = FlowBudget { spent: 3, limit: 10 };
+        let b = FlowBudget { spent: 7, limit: 8 };
+        let c = FlowBudget { spent: 5, limit: 12 };
+        // Idempotent, commutative, associative.
+        assert_eq!(a.join(a), a);
+        assert_eq!(a.join(b), b.join(a));
+        assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        // Join takes max spent, min limit: merging replicas can only
+        // tighten what a tenant has left.
+        assert_eq!(a.join(b), FlowBudget { spent: 7, limit: 8 });
+        assert!(a.join(b).remaining() <= a.remaining());
+        assert!(a.join(b).remaining() <= b.remaining());
+    }
+
+    #[test]
+    fn flow_ledger_charges_and_merges() {
+        let mut ledger = FlowLedger::new(2);
+        assert!(ledger.charge(1, 1));
+        assert!(ledger.charge(1, 1));
+        assert!(!ledger.charge(1, 1), "third job must bounce off limit 2");
+        assert!(ledger.charge(2, 1), "other tenants unaffected");
+        assert_eq!(ledger.get(1), FlowBudget { spent: 2, limit: 2 });
+
+        // Failover merge: spent survives by max, limit tightens by min.
+        let mut replica = FlowLedger::new(2);
+        replica.charge(1, 1);
+        replica.set_limit(3, 1);
+        replica.merge(&ledger);
+        assert_eq!(replica.get(1), FlowBudget { spent: 2, limit: 2 });
+        assert_eq!(replica.get(3).limit, 1);
+        assert!(!replica.charge(1, 1));
+        // Merge is idempotent.
+        let snapshot = replica.clone();
+        replica.merge(&ledger);
+        assert_eq!(replica, snapshot);
+    }
+
+    #[test]
+    fn done_reason_codes_roundtrip() {
+        for reason in [
+            DoneReason::Budget,
+            DoneReason::Target,
+            DoneReason::Deadline,
+            DoneReason::Cancelled,
+        ] {
+            assert_eq!(DoneReason::from_code(reason.code()), reason);
+        }
+    }
+
+    #[test]
+    fn service_runs_one_job_end_to_end() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let handle = svc
+            .submit(1, JobSpec::new(grid_payload(25)).seed(3).kicks(5))
+            .unwrap();
+        assert_eq!(handle.id(), job_id(1, 0));
+        let (reason, length, order, improvements) = handle.wait().unwrap();
+        assert_eq!(reason, DoneReason::Budget);
+        assert!(length < i64::MAX);
+        assert_eq!(order.len(), 25);
+        assert!(!improvements.is_empty(), "anytime stream was empty");
+        assert!(
+            improvements.windows(2).all(|w| w[1] < w[0]),
+            "stream not strictly improving: {improvements:?}"
+        );
+        assert_eq!(*improvements.last().unwrap(), length);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn fairness_rejects_over_limit_and_bad_payloads() {
+        let svc = SolverService::start(ServiceConfig {
+            workers: 1,
+            default_limit: 1,
+            ..Default::default()
+        });
+        let err = svc
+            .submit(5, JobSpec::new(JobPayload::Json("nonsense".into())))
+            .unwrap_err();
+        assert!(err.contains("bad payload"), "{err}");
+        let ok = svc
+            .submit(5, JobSpec::new(grid_payload(16)).kicks(2))
+            .unwrap();
+        let err = svc
+            .submit(5, JobSpec::new(grid_payload(16)).kicks(2))
+            .unwrap_err();
+        assert!(err.contains("flow budget exhausted"), "{err}");
+        // A different tenant still gets in.
+        assert!(svc.submit(6, JobSpec::new(grid_payload(16)).kicks(2)).is_ok());
+        assert!(ok.wait().is_some());
+        let snapshot = svc.obs().snapshot();
+        assert_eq!(snapshot.counter(kinds::C_SVC_REJECTED), 2);
+        svc.shutdown();
+    }
+}

@@ -92,6 +92,37 @@ pub mod kinds {
     /// Counter: shard results rejected by the collector's validation
     /// (bad membership, wrong length, out-of-range shard id).
     pub const C_SHARD_REJECTS: &str = "shard.rejects";
+    /// A job was admitted by the service scheduler. Fields: `job`,
+    /// `client`, `worker`. Counter: [`C_SVC_ACCEPTED`].
+    pub const SVC_ACCEPT: &str = "svc.accept";
+    /// A job submission was rejected at admission (fairness ledger
+    /// exhausted or malformed payload). Fields: `client`, `why`.
+    /// Counter: [`C_SVC_REJECTED`].
+    pub const SVC_REJECT: &str = "svc.reject";
+    /// An accepted job reached a terminal state. Fields: `job`,
+    /// `reason`, `len`. Counter: [`C_SVC_COMPLETED`].
+    pub const SVC_DONE: &str = "svc.done";
+    /// An in-flight job was reassigned to a surviving worker after its
+    /// worker died, restored from the last streamed checkpoint.
+    /// Fields: `job`, `from_worker`, `to_worker`. Counter:
+    /// [`C_SVC_REASSIGNED`].
+    pub const SVC_REASSIGN: &str = "svc.reassign";
+    /// Counter: jobs submitted to the service (accepted or not).
+    pub const C_SVC_SUBMITTED: &str = "svc.jobs_submitted";
+    /// Counter: jobs admitted by the scheduler.
+    pub const C_SVC_ACCEPTED: &str = "svc.jobs_accepted";
+    /// Counter: submissions rejected at admission.
+    pub const C_SVC_REJECTED: &str = "svc.jobs_rejected";
+    /// Counter: jobs that reached a terminal `JobDone`.
+    pub const C_SVC_COMPLETED: &str = "svc.jobs_completed";
+    /// Counter: jobs whose terminal reason was a deadline expiry.
+    pub const C_SVC_EXPIRED: &str = "svc.jobs_expired";
+    /// Counter: jobs cancelled by their client.
+    pub const C_SVC_CANCELLED: &str = "svc.jobs_cancelled";
+    /// Counter: jobs reassigned after a worker death.
+    pub const C_SVC_REASSIGNED: &str = "svc.jobs_reassigned";
+    /// Counter: strictly-improving tour updates streamed to clients.
+    pub const C_SVC_IMPROVEMENTS: &str = "svc.improvements";
 }
 
 use std::borrow::Cow;

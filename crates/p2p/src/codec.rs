@@ -23,6 +23,18 @@ const TAG_HUB_CLAIM: u8 = 8;
 const TAG_LOG_SNAPSHOT: u8 = 9;
 const TAG_TELEMETRY: u8 = 10;
 const TAG_SHARD_RESULT: u8 = 11;
+const TAG_JOB_SUBMIT: u8 = 12;
+const TAG_JOB_ACCEPT: u8 = 13;
+const TAG_JOB_IMPROVED: u8 = 14;
+const TAG_JOB_DONE: u8 = 15;
+const TAG_JOB_CANCEL: u8 = 16;
+
+/// Highest job-termination reason code on the wire (see
+/// [`Message::JobDone`]: 0 budget, 1 target, 2 deadline, 3 cancelled).
+const MAX_JOB_REASON: u8 = 3;
+
+/// Job payload kinds accepted on the wire (1 = TSPLIB, 2 = JSON).
+const MAX_PAYLOAD_KIND: u8 = 2;
 
 /// Longest accepted metric name inside a Telemetry frame (real names
 /// are short dotted paths like `node.clk_calls`).
@@ -197,6 +209,76 @@ pub fn encode(msg: &Message) -> Bytes {
             for &c in order {
                 buf.put_u32_le(c);
             }
+        }
+        Message::JobSubmit {
+            from,
+            job,
+            client,
+            seed,
+            kicks,
+            deadline_ms,
+            target,
+            payload_kind,
+            payload,
+            checkpoint,
+        } => {
+            buf.put_u8(TAG_JOB_SUBMIT);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*job);
+            buf.put_u64_le(*client);
+            buf.put_u64_le(*seed);
+            buf.put_u64_le(*kicks);
+            buf.put_u64_le(*deadline_ms);
+            buf.put_i64_le(*target);
+            buf.put_u8(*payload_kind);
+            buf.put_u32_le(payload.len() as u32);
+            buf.put_slice(payload);
+            buf.put_u32_le(checkpoint.len() as u32);
+            buf.put_slice(checkpoint);
+        }
+        Message::JobAccept { from, job, worker } => {
+            buf.put_u8(TAG_JOB_ACCEPT);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*job);
+            buf.put_u64_le(*worker);
+        }
+        Message::JobImproved {
+            from,
+            job,
+            length,
+            order,
+        } => {
+            buf.put_u8(TAG_JOB_IMPROVED);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*job);
+            buf.put_i64_le(*length);
+            buf.put_u32_le(order.len() as u32);
+            for &c in order {
+                buf.put_u32_le(c);
+            }
+        }
+        Message::JobDone {
+            from,
+            job,
+            reason,
+            length,
+            order,
+        } => {
+            buf.put_u8(TAG_JOB_DONE);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*job);
+            buf.put_u8(*reason);
+            buf.put_i64_le(*length);
+            buf.put_u32_le(order.len() as u32);
+            for &c in order {
+                buf.put_u32_le(c);
+            }
+        }
+        Message::JobCancel { from, job, reason } => {
+            buf.put_u8(TAG_JOB_CANCEL);
+            buf.put_u64_le(*from as u64);
+            buf.put_u64_le(*job);
+            buf.put_u8(*reason);
         }
     }
     debug_assert_eq!(buf.len(), 4 + body_len);
@@ -389,6 +471,119 @@ pub fn decode(mut payload: &[u8]) -> Result<Message, NetError> {
                 length,
                 order,
             })
+        }
+        TAG_JOB_SUBMIT => {
+            if payload.remaining() < 7 * 8 + 1 + 4 {
+                return Err(err("truncated JobSubmit header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let job = payload.get_u64_le();
+            let client = payload.get_u64_le();
+            let seed = payload.get_u64_le();
+            let kicks = payload.get_u64_le();
+            let deadline_ms = payload.get_u64_le();
+            let target = payload.get_i64_le();
+            let payload_kind = payload.get_u8();
+            if payload_kind == 0 || payload_kind > MAX_PAYLOAD_KIND {
+                return Err(err(&format!("bad JobSubmit payload kind {payload_kind}")));
+            }
+            let n = payload.get_u32_le() as usize;
+            // The checkpoint section's 4-byte length must still fit
+            // after `n` payload bytes — a lying count must not read
+            // past the frame or allocate unbounded memory.
+            if payload.remaining() < n + 4 {
+                return Err(err("JobSubmit payload length overruns frame"));
+            }
+            let body = payload[..n].to_vec();
+            payload.advance(n);
+            let c = payload.get_u32_le() as usize;
+            if payload.remaining() != c {
+                return Err(err("JobSubmit checkpoint length mismatch"));
+            }
+            let checkpoint = payload.to_vec();
+            Ok(Message::JobSubmit {
+                from,
+                job,
+                client,
+                seed,
+                kicks,
+                deadline_ms,
+                target,
+                payload_kind,
+                payload: body,
+                checkpoint,
+            })
+        }
+        TAG_JOB_ACCEPT => {
+            if payload.remaining() != 24 {
+                return Err(err("bad JobAccept size"));
+            }
+            Ok(Message::JobAccept {
+                from: payload.get_u64_le() as usize,
+                job: payload.get_u64_le(),
+                worker: payload.get_u64_le(),
+            })
+        }
+        TAG_JOB_IMPROVED => {
+            if payload.remaining() < 8 + 8 + 8 + 4 {
+                return Err(err("truncated JobImproved header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let job = payload.get_u64_le();
+            let length = payload.get_i64_le();
+            let n = payload.get_u32_le() as usize;
+            if payload.remaining() != 4 * n {
+                return Err(err("JobImproved order length mismatch"));
+            }
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(payload.get_u32_le());
+            }
+            Ok(Message::JobImproved {
+                from,
+                job,
+                length,
+                order,
+            })
+        }
+        TAG_JOB_DONE => {
+            if payload.remaining() < 8 + 8 + 1 + 8 + 4 {
+                return Err(err("truncated JobDone header"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let job = payload.get_u64_le();
+            let reason = payload.get_u8();
+            if reason > MAX_JOB_REASON {
+                return Err(err(&format!("bad JobDone reason {reason}")));
+            }
+            let length = payload.get_i64_le();
+            let n = payload.get_u32_le() as usize;
+            if payload.remaining() != 4 * n {
+                return Err(err("JobDone order length mismatch"));
+            }
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(payload.get_u32_le());
+            }
+            Ok(Message::JobDone {
+                from,
+                job,
+                reason,
+                length,
+                order,
+            })
+        }
+        TAG_JOB_CANCEL => {
+            if payload.remaining() != 17 {
+                return Err(err("bad JobCancel size"));
+            }
+            let from = payload.get_u64_le() as usize;
+            let job = payload.get_u64_le();
+            let reason = payload.get_u8();
+            if reason > MAX_JOB_REASON {
+                return Err(err(&format!("bad JobCancel reason {reason}")));
+            }
+            Ok(Message::JobCancel { from, job, reason })
         }
         t => Err(err(&format!("unknown tag {t}"))),
     }
@@ -637,6 +832,170 @@ mod tests {
         let mut bad = payload.to_vec();
         let count_at = 1 + 8 + 4 + 8;
         bad[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bad).is_err());
+    }
+
+    fn sample_job_submit() -> Message {
+        Message::JobSubmit {
+            from: 0,
+            job: crate::message::job_id(7, 1),
+            client: 7,
+            seed: 99,
+            kicks: 250,
+            deadline_ms: 10_000,
+            target: -5,
+            payload_kind: 1,
+            payload: b"NAME: t\nTYPE: TSP\n".to_vec(),
+            checkpoint: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn roundtrip_job_frames() {
+        roundtrip(sample_job_submit());
+        // Fresh submission: empty checkpoint, unbounded kicks.
+        roundtrip(Message::JobSubmit {
+            from: 3,
+            job: 0,
+            client: u64::MAX >> 32,
+            seed: 0,
+            kicks: 0,
+            deadline_ms: 0,
+            target: i64::MIN,
+            payload_kind: 2,
+            payload: b"[[0,0],[1,1]]".to_vec(),
+            checkpoint: vec![],
+        });
+        roundtrip(Message::JobAccept {
+            from: 2,
+            job: crate::message::job_id(7, 1),
+            worker: 2,
+        });
+        roundtrip(Message::JobImproved {
+            from: 1,
+            job: 42,
+            length: -1,
+            order: (0..321).rev().collect(),
+        });
+        roundtrip(Message::JobImproved {
+            from: 1,
+            job: 42,
+            length: i64::MAX,
+            order: vec![],
+        });
+        for reason in 0..=3u8 {
+            roundtrip(Message::JobDone {
+                from: 5,
+                job: u64::MAX,
+                reason,
+                length: 777,
+                order: (0..48).collect(),
+            });
+            roundtrip(Message::JobCancel {
+                from: 5,
+                job: 1,
+                reason,
+            });
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_job_submit() {
+        let frame = encode(&sample_job_submit());
+        let payload = &frame[4..];
+        assert!(decode(payload).is_ok());
+        for cut in 1..payload.len() {
+            assert!(
+                decode(&payload[..cut]).is_err(),
+                "truncation at {cut} bytes accepted"
+            );
+        }
+        // Payload kind outside {1, 2}.
+        let kind_at = 1 + 7 * 8;
+        for bad_kind in [0u8, 3, 255] {
+            let mut bad = payload.to_vec();
+            bad[kind_at] = bad_kind;
+            assert!(decode(&bad).is_err(), "payload kind {bad_kind} accepted");
+        }
+        // Payload length overrunning the frame.
+        let mut bad = payload.to_vec();
+        bad[kind_at + 1..kind_at + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bad).is_err());
+        // Checkpoint length disagreeing with the bytes present (the
+        // 4-byte section length sits right before the 5 blob bytes).
+        let mut bad = payload.to_vec();
+        let len = bad.len();
+        bad[len - 9..len - 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_job_stream_frames() {
+        let improved = encode(&Message::JobImproved {
+            from: 1,
+            job: 9,
+            length: 55,
+            order: (0..32).collect(),
+        });
+        let payload = &improved[4..];
+        assert!(decode(payload).is_ok());
+        for cut in 1..payload.len() {
+            assert!(
+                decode(&payload[..cut]).is_err(),
+                "JobImproved truncation at {cut} accepted"
+            );
+        }
+        // City count claiming more entries than bytes present.
+        let mut bad = payload.to_vec();
+        let count_at = 1 + 8 + 8 + 8;
+        bad[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bad).is_err());
+
+        let done = encode(&Message::JobDone {
+            from: 1,
+            job: 9,
+            reason: 2,
+            length: 55,
+            order: (0..32).collect(),
+        });
+        let payload = &done[4..];
+        assert!(decode(payload).is_ok());
+        for cut in 1..payload.len() {
+            assert!(
+                decode(&payload[..cut]).is_err(),
+                "JobDone truncation at {cut} accepted"
+            );
+        }
+        // Reason byte outside the defined scale.
+        let mut bad = payload.to_vec();
+        bad[1 + 8 + 8] = MAX_JOB_REASON + 1;
+        assert!(decode(&bad).is_err());
+        let mut bad = payload.to_vec();
+        let count_at = 1 + 8 + 8 + 1 + 8;
+        bad[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bad).is_err());
+
+        // Control frames: exact-size checks and reason validation.
+        let accept = encode(&Message::JobAccept {
+            from: 1,
+            job: 9,
+            worker: 1,
+        });
+        let payload = &accept[4..];
+        for cut in 1..payload.len() {
+            assert!(decode(&payload[..cut]).is_err());
+        }
+        let cancel = encode(&Message::JobCancel {
+            from: 1,
+            job: 9,
+            reason: 3,
+        });
+        let payload = &cancel[4..];
+        for cut in 1..payload.len() {
+            assert!(decode(&payload[..cut]).is_err());
+        }
+        let mut bad = payload.to_vec();
+        bad[1 + 8 + 8] = MAX_JOB_REASON + 1;
         assert!(decode(&bad).is_err());
     }
 

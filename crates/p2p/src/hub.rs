@@ -297,6 +297,26 @@ struct LifecycleState {
     stepped_down: bool,
 }
 
+/// Receiver of solve jobs arriving on the hub's `JOB` command: the
+/// job layer (e.g. `distclk::service`) registers one via
+/// [`LifecycleHub::set_job_handler`] and the hub hands it every job
+/// frame together with the still-open client connection, on which the
+/// handler streams its binary reply frames (`JobAccept`,
+/// `JobImproved`…, terminated by `JobDone`). The hub stays protocol-
+/// agnostic: fencing (`MOVED` after a newer `HUBCLAIM`) happens before
+/// dispatch, exactly like the `METRICS`/`STATUS` scrapes.
+pub trait JobHandler: Send + Sync {
+    /// Serve one job connection. `first` is the frame that followed
+    /// the `JOB` line (a `JobSubmit` or `JobCancel`); the handler owns
+    /// `stream` from here on and replies with one `OK …`/`ERR …` text
+    /// line, then (for submissions) a stream of codec frames.
+    fn handle(&self, first: Message, stream: TcpStream) -> Result<(), NetError>;
+}
+
+/// Shared slot for the registered job handler (empty until the job
+/// layer attaches).
+type JobHandlerSlot = Arc<Mutex<Option<Arc<dyn JobHandler>>>>;
+
 /// A hub promoted from one-shot bootstrapper to lifecycle manager: it
 /// keeps serving after bootstrap, accepting three request kinds:
 ///
@@ -330,6 +350,7 @@ pub struct LifecycleHub {
     stop: Arc<AtomicBool>,
     state: Arc<Mutex<LifecycleState>>,
     telemetry: Arc<TelemetryStore>,
+    jobs: JobHandlerSlot,
     obs: Obs,
 }
 
@@ -411,14 +432,23 @@ impl LifecycleHub {
         let stop = Arc::new(AtomicBool::new(false));
         let state = Arc::new(Mutex::new(state));
         let telemetry = TelemetryStore::shared();
+        let jobs: JobHandlerSlot = Arc::new(Mutex::new(None));
         let loop_state = Arc::clone(&state);
         let loop_stop = Arc::clone(&stop);
         let loop_telemetry = Arc::clone(&telemetry);
+        let loop_jobs = Arc::clone(&jobs);
         let loop_obs = obs.clone();
         let thread = std::thread::Builder::new()
             .name("p2p-hub-lifecycle".into())
             .spawn(move || {
-                lifecycle_loop(listener, loop_state, loop_stop, loop_telemetry, loop_obs)
+                lifecycle_loop(
+                    listener,
+                    loop_state,
+                    loop_stop,
+                    loop_telemetry,
+                    loop_jobs,
+                    loop_obs,
+                )
             })
             .expect("spawn hub thread");
         Ok(LifecycleHub {
@@ -427,6 +457,7 @@ impl LifecycleHub {
             stop,
             state,
             telemetry,
+            jobs,
             obs,
         })
     }
@@ -460,6 +491,14 @@ impl LifecycleHub {
         Arc::clone(&self.telemetry)
     }
 
+    /// Register (or replace) the handler behind the `JOB` command.
+    /// Until one is attached, job submissions are answered
+    /// `ERR no job service`. The handler outlives individual
+    /// connections — it is shared by every job-serving thread.
+    pub fn set_job_handler(&self, handler: Arc<dyn JobHandler>) {
+        *self.jobs.lock() = Some(handler);
+    }
+
     /// Stop serving and join the hub thread. Idempotent.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Release);
@@ -482,6 +521,7 @@ fn lifecycle_loop(
     state: Arc<Mutex<LifecycleState>>,
     stop: Arc<AtomicBool>,
     telemetry: Arc<TelemetryStore>,
+    jobs: JobHandlerSlot,
     obs: Obs,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
@@ -496,11 +536,13 @@ fn lifecycle_loop(
         }
         let conn_state = Arc::clone(&state);
         let conn_telemetry = Arc::clone(&telemetry);
+        let conn_jobs = Arc::clone(&jobs);
         let conn_obs = obs.clone();
         let handle = std::thread::Builder::new()
             .name("p2p-hub-conn".into())
             .spawn(move || {
-                if let Err(e) = serve_lifecycle(stream, &conn_state, &conn_telemetry, &conn_obs)
+                if let Err(e) =
+                    serve_lifecycle(stream, &conn_state, &conn_telemetry, &conn_jobs, &conn_obs)
                 {
                     conn_obs.counter("hub.rejects").incr();
                     conn_obs.event("hub.reject", &[("error", Value::S(e.to_string()))]);
@@ -516,12 +558,16 @@ fn lifecycle_loop(
 }
 
 /// Serve one lifecycle request (`JOIN` / `DOWN` / `REJOIN` /
-/// `HUBCLAIM` / `TELEMETRY` / `METRICS` / `STATUS`) under read and
-/// write deadlines.
+/// `HUBCLAIM` / `TELEMETRY` / `METRICS` / `STATUS` / `JOB`) under
+/// read and write deadlines (a `JOB` connection is handed to the
+/// registered [`JobHandler`], which manages its own deadlines from
+/// then on — result streams legitimately outlive the handshake
+/// timeout).
 fn serve_lifecycle(
     stream: TcpStream,
     state: &Mutex<LifecycleState>,
     telemetry: &TelemetryStore,
+    jobs: &JobHandlerSlot,
     obs: &Obs,
 ) -> Result<(), NetError> {
     let deadline = TcpConfig::default().handshake_timeout;
@@ -690,6 +736,32 @@ fn serve_lifecycle(
             obs.counter("hub.telemetry_frames").incr();
             Ok(())
         }
+        ["JOB"] => {
+            // The text line is followed by one binary codec frame (a
+            // `JobSubmit` or `JobCancel`) on the same stream, like
+            // `TELEMETRY`. The connection is then handed to the job
+            // layer, which replies with a status line and streams
+            // result frames back on it. Fencing already happened
+            // above: a stepped-down holder answered `MOVED` before the
+            // frame was read, so a failed-over client resubmits to the
+            // successor instead of landing a job on a stale scheduler.
+            let msg = read_frame(&mut reader)?;
+            if !matches!(msg, Message::JobSubmit { .. } | Message::JobCancel { .. }) {
+                return Err(NetError::Codec("JOB frame was not a job frame".into()));
+            }
+            let handler = jobs.lock().clone();
+            match handler {
+                Some(h) => {
+                    obs.counter("hub.jobs").incr();
+                    h.handle(msg, w)
+                }
+                None => {
+                    writeln!(w, "ERR no job service")?;
+                    w.flush()?;
+                    Ok(())
+                }
+            }
+        }
         ["METRICS"] => {
             // Prometheus text exposition of the cluster-merged view;
             // the body ends when the hub closes the connection.
@@ -826,6 +898,91 @@ pub fn ship_telemetry(
             .parse()
             .map_err(|_| NetError::Codec(format!("bad hub clock {t:?}"))),
         _ => Err(NetError::Codec(format!("bad telemetry reply {line:?}"))),
+    }
+}
+
+/// A live job-result stream: the client half of a `JOB` connection
+/// after the hub's registered [`JobHandler`] accepted the submission.
+/// Frames arrive in order: one `JobAccept`, zero or more
+/// `JobImproved` (strictly improving lengths — anytime semantics),
+/// and a terminal `JobDone`.
+#[derive(Debug)]
+pub struct JobStream {
+    reader: BufReader<TcpStream>,
+}
+
+impl JobStream {
+    /// Block for the next frame of the stream. After a `JobDone` the
+    /// hub closes the connection and further calls return an error.
+    pub fn next_frame(&mut self) -> Result<Message, NetError> {
+        read_frame(&mut self.reader)
+    }
+}
+
+/// Submit a solve job to the hub's `JOB` command and return the
+/// assigned job id plus the live result stream. The submission frame's
+/// `job` field is ignored — the scheduler assigns the id (returned in
+/// the `OK <id>` status line and echoed on every stream frame).
+///
+/// Errors distinguish a fenced-out hub (`hub moved: MOVED <epoch>` —
+/// resubmit to the successor) from an admission rejection
+/// (`job rejected: …`, e.g. the tenant's flow budget is exhausted).
+pub fn submit_job(
+    hub: SocketAddr,
+    submit: &Message,
+    cfg: &TcpConfig,
+) -> Result<(u64, JobStream), NetError> {
+    let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+    stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+    // Status line under the handshake deadline; once accepted, the
+    // result stream is event-driven (improvements arrive whenever the
+    // engine finds them), so reads block without a deadline.
+    stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
+    writeln!(stream, "JOB")?;
+    write_frame(&mut stream, submit)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let tokens: Vec<&str> = line.trim().split(' ').collect();
+    match tokens.as_slice() {
+        ["OK", id] => {
+            let job = id
+                .parse()
+                .map_err(|_| NetError::Codec(format!("bad job id {id:?}")))?;
+            reader.get_ref().set_read_timeout(None).ok();
+            Ok((job, JobStream { reader }))
+        }
+        ["MOVED", ..] => Err(NetError::Codec(format!("hub moved: {}", line.trim()))),
+        ["ERR", ..] => Err(NetError::Codec(format!("job rejected: {}", line.trim()))),
+        _ => Err(NetError::Codec(format!("bad job reply {line:?}"))),
+    }
+}
+
+/// Cancel an in-flight job via the hub's `JOB` command. The job's
+/// result stream (on its original connection) still terminates with a
+/// `JobDone` carrying the best tour found up to the cancellation.
+pub fn cancel_job(hub: SocketAddr, job: u64, cfg: &TcpConfig) -> Result<(), NetError> {
+    let mut stream = TcpStream::connect_timeout(&hub, cfg.connect_timeout)?;
+    stream.set_write_timeout(Some(cfg.handshake_timeout)).ok();
+    stream.set_read_timeout(Some(cfg.handshake_timeout)).ok();
+    writeln!(stream, "JOB")?;
+    write_frame(
+        &mut stream,
+        &Message::JobCancel {
+            from: 0,
+            job,
+            reason: 3,
+        },
+    )?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    match line.trim() {
+        "OK" => Ok(()),
+        other if other.starts_with("MOVED") => {
+            Err(NetError::Codec(format!("hub moved: {other}")))
+        }
+        other => Err(NetError::Codec(format!("bad cancel reply {other:?}"))),
     }
 }
 
@@ -1007,6 +1164,115 @@ impl Drop for SelfHealing {
 mod tests {
     use super::*;
     use crate::transport::Transport;
+
+    /// Minimal job handler for protocol tests: acknowledges the
+    /// submission under a fixed id and immediately streams one
+    /// improvement plus the terminal frame.
+    struct EchoJobs;
+
+    impl JobHandler for EchoJobs {
+        fn handle(&self, first: Message, mut stream: TcpStream) -> Result<(), NetError> {
+            match first {
+                Message::JobSubmit { client, .. } => {
+                    let job = crate::message::job_id(client, 0);
+                    writeln!(stream, "OK {job}")?;
+                    stream.flush()?;
+                    write_frame(
+                        &mut stream,
+                        &Message::JobAccept {
+                            from: 0,
+                            job,
+                            worker: 1,
+                        },
+                    )?;
+                    write_frame(
+                        &mut stream,
+                        &Message::JobImproved {
+                            from: 1,
+                            job,
+                            length: 10,
+                            order: vec![0, 1, 2],
+                        },
+                    )?;
+                    write_frame(
+                        &mut stream,
+                        &Message::JobDone {
+                            from: 1,
+                            job,
+                            reason: 0,
+                            length: 10,
+                            order: vec![0, 1, 2],
+                        },
+                    )?;
+                    Ok(())
+                }
+                Message::JobCancel { .. } => {
+                    writeln!(stream, "OK")?;
+                    stream.flush()?;
+                    Ok(())
+                }
+                _ => Err(NetError::Codec("unexpected frame".into())),
+            }
+        }
+    }
+
+    fn sample_submit(client: u64) -> Message {
+        Message::JobSubmit {
+            from: 0,
+            job: 0,
+            client,
+            seed: 1,
+            kicks: 4,
+            deadline_ms: 0,
+            target: i64::MIN,
+            payload_kind: 2,
+            payload: b"[[0,0],[1,0],[1,1],[0,1]]".to_vec(),
+            checkpoint: vec![],
+        }
+    }
+
+    #[test]
+    fn job_command_streams_frames_and_is_moved_fenced() {
+        let cfg = TcpConfig::default();
+        let hub = LifecycleHub::start("127.0.0.1:0", 2, Topology::Ring).unwrap();
+        // Before a handler is attached the command answers ERR.
+        let err = submit_job(hub.addr(), &sample_submit(9), &cfg).unwrap_err();
+        assert!(err.to_string().contains("no job service"), "{err}");
+
+        hub.set_job_handler(Arc::new(EchoJobs));
+        let (job, mut stream) = submit_job(hub.addr(), &sample_submit(9), &cfg).unwrap();
+        assert_eq!(job, crate::message::job_id(9, 0));
+        assert!(matches!(
+            stream.next_frame().unwrap(),
+            Message::JobAccept { job: j, .. } if j == job
+        ));
+        assert!(matches!(
+            stream.next_frame().unwrap(),
+            Message::JobImproved { length: 10, .. }
+        ));
+        assert!(matches!(
+            stream.next_frame().unwrap(),
+            Message::JobDone { reason: 0, .. }
+        ));
+        cancel_job(hub.addr(), job, &cfg).unwrap();
+
+        // A junk frame after the JOB line must not reach the handler.
+        let mut raw = TcpStream::connect(hub.addr()).unwrap();
+        writeln!(raw, "JOB").unwrap();
+        write_frame(&mut raw, &Message::Ping { from: 0 }).unwrap();
+        let mut line = String::new();
+        let _ = BufReader::new(raw).read_line(&mut line);
+        assert!(line.is_empty(), "non-job frame must be dropped, got {line:?}");
+
+        // After a newer HUBCLAIM the holder is fenced: job admission is
+        // redirected exactly like METRICS/STATUS, before any frame is
+        // read or scheduled.
+        assert!(claim_hub(hub.addr(), 1, &cfg).unwrap());
+        let err = submit_job(hub.addr(), &sample_submit(9), &cfg).unwrap_err();
+        assert!(err.to_string().contains("hub moved"), "{err}");
+        let err = cancel_job(hub.addr(), job, &cfg).unwrap_err();
+        assert!(err.to_string().contains("hub moved"), "{err}");
+    }
 
     #[test]
     fn parse_reply_with_neighbors() {

@@ -35,7 +35,7 @@ pub mod util;
 pub use election::{ElectionState, LogEntry, MembershipLog, Replica};
 pub use fault::{FaultConfig, FaultyTransport};
 pub use memory::InMemoryNetwork;
-pub use message::{broadcast_id, Message, NodeId};
+pub use message::{broadcast_id, job_id, Message, NodeId};
 pub use tcp::TcpConfig;
 pub use telemetry::{NodeTelemetry, TelemetryShipper, TelemetryStore};
 pub use topology::{Membership, Topology};

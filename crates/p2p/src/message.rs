@@ -151,6 +151,89 @@ pub enum Message {
         /// Sub-tour visiting order in global city ids.
         order: Vec<u32>,
     },
+    /// A solve job entering the service layer: carried from a client
+    /// to the scheduling hub, and from the hub to the worker node the
+    /// job is assigned to. On *re*assignment after a worker death the
+    /// same frame travels again with `checkpoint` holding the last
+    /// streamed best tour (a [`crate::codec`]-encoded `TourFound`, the
+    /// node checkpoint format), so an in-flight job survives churn.
+    JobSubmit {
+        /// Submitting node (the hub when forwarding to a worker).
+        from: NodeId,
+        /// Job id, `client << 32 | seq` — the same composition as
+        /// [`broadcast_id`], so `job >> 32` recovers the owning client
+        /// anywhere in the pipeline. `0` until the hub assigns one.
+        job: u64,
+        /// Client (tenant) the job belongs to; the fairness ledger is
+        /// keyed by this.
+        client: u64,
+        /// RNG seed of the job's engine (per-job determinism).
+        seed: u64,
+        /// Kick budget per engine; `0` = unbounded (deadline-only).
+        kicks: u64,
+        /// Wall-clock deadline in milliseconds from acceptance;
+        /// `0` = none.
+        deadline_ms: u64,
+        /// Target length (quality budget): the job stops as soon as a
+        /// tour of this length or shorter is found. `i64::MIN` = none.
+        target: i64,
+        /// Payload format: 1 = TSPLIB text, 2 = JSON point list.
+        payload_kind: u8,
+        /// The instance payload bytes.
+        payload: Vec<u8>,
+        /// Resume state for reassignment (empty on fresh submission).
+        checkpoint: Vec<u8>,
+    },
+    /// A worker accepted a job and is solving it.
+    JobAccept {
+        /// Accepting worker.
+        from: NodeId,
+        /// Job id.
+        job: u64,
+        /// Worker id echoed as a field so the frame can be relayed to
+        /// the client without rewriting `from`.
+        worker: u64,
+    },
+    /// Anytime stream: the job's engine improved its best tour. Sent
+    /// worker → hub → client for every strict improvement.
+    JobImproved {
+        /// Reporting worker.
+        from: NodeId,
+        /// Job id.
+        job: u64,
+        /// Improved tour length.
+        length: i64,
+        /// Visiting order.
+        order: Vec<u32>,
+    },
+    /// Terminal frame of a job stream: budget exhausted, target
+    /// reached, deadline expired, or cancelled — with the final best
+    /// tour either way (anytime semantics).
+    JobDone {
+        /// Reporting worker.
+        from: NodeId,
+        /// Job id.
+        job: u64,
+        /// Why the job ended: 0 = budget exhausted, 1 = target
+        /// reached, 2 = deadline expired, 3 = cancelled.
+        reason: u8,
+        /// Final best length.
+        length: i64,
+        /// Final best visiting order.
+        order: Vec<u32>,
+    },
+    /// Cancel an in-flight job (client request, or the hub enforcing a
+    /// deadline on a wedged worker). The worker answers with a
+    /// [`Message::JobDone`] carrying its best-so-far.
+    JobCancel {
+        /// Requesting node.
+        from: NodeId,
+        /// Job id.
+        job: u64,
+        /// Reason code, same scale as [`Message::JobDone::reason`]
+        /// (2 = deadline enforcement, 3 = client cancel).
+        reason: u8,
+    },
 }
 
 /// Compose a per-broadcast tour id from the originating node and its
@@ -159,6 +242,14 @@ pub enum Message {
 /// has been forwarded across the hypercube.
 pub fn broadcast_id(origin: NodeId, seq: u32) -> u64 {
     ((origin as u64) << 32) | seq as u64
+}
+
+/// Compose a job id from the owning client and the hub's per-client
+/// submission sequence number — the [`broadcast_id`] composition
+/// applied to the job layer, so `job >> 32` recovers the tenant
+/// anywhere a job frame is observed.
+pub fn job_id(client: u64, seq: u32) -> u64 {
+    (client << 32) | seq as u64
 }
 
 impl Message {
@@ -175,7 +266,12 @@ impl Message {
             | Message::HubClaim { from, .. }
             | Message::LogSnapshot { from, .. }
             | Message::Telemetry { from, .. }
-            | Message::ShardResult { from, .. } => from,
+            | Message::ShardResult { from, .. }
+            | Message::JobSubmit { from, .. }
+            | Message::JobAccept { from, .. }
+            | Message::JobImproved { from, .. }
+            | Message::JobDone { from, .. }
+            | Message::JobCancel { from, .. } => from,
         }
     }
 
@@ -188,6 +284,21 @@ impl Message {
             }
             // tag + from + shard + length + count + cities.
             Message::ShardResult { order, .. } => 1 + 8 + 4 + 8 + 4 + 4 * order.len(),
+            Message::JobSubmit {
+                payload,
+                checkpoint,
+                ..
+            } => {
+                // tag + from + job + client + seed + kicks + deadline
+                // + target + kind + two length-prefixed byte sections.
+                1 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 4 + payload.len() + 4 + checkpoint.len()
+            }
+            Message::JobAccept { .. } => 1 + 8 + 8 + 8,
+            // tag + from + job + length + count + cities.
+            Message::JobImproved { order, .. } => 1 + 8 + 8 + 8 + 4 + 4 * order.len(),
+            // tag + from + job + reason + length + count + cities.
+            Message::JobDone { order, .. } => 1 + 8 + 8 + 1 + 8 + 4 + 4 * order.len(),
+            Message::JobCancel { .. } => 1 + 8 + 8 + 1,
             Message::OptimumFound { .. } => 1 + 8 + 8,
             Message::Leave { .. } | Message::Ping { .. } => 1 + 8,
             Message::Pong { .. } => 1 + 8 + 8,
@@ -351,6 +462,76 @@ mod tests {
         assert_eq!(msg.from(), 9);
         // tag + from + shard + length + count + 25 cities.
         assert_eq!(msg.wire_size(), 1 + 8 + 4 + 8 + 4 + 4 * 25);
+    }
+
+    #[test]
+    fn job_frames_sender_and_wire_size() {
+        let submit = Message::JobSubmit {
+            from: 0,
+            job: job_id(7, 3),
+            client: 7,
+            seed: 42,
+            kicks: 100,
+            deadline_ms: 5_000,
+            target: i64::MIN,
+            payload_kind: 1,
+            payload: b"NAME: t\n".to_vec(),
+            checkpoint: vec![],
+        };
+        assert_eq!(submit.from(), 0);
+        // Fixed header + kind byte + two length-prefixed sections.
+        assert_eq!(submit.wire_size(), 1 + 7 * 8 + 1 + 4 + 8 + 4);
+        assert_eq!(
+            Message::JobAccept {
+                from: 2,
+                job: 1,
+                worker: 2
+            }
+            .from(),
+            2
+        );
+        assert_eq!(
+            Message::JobAccept {
+                from: 2,
+                job: 1,
+                worker: 2
+            }
+            .wire_size(),
+            25
+        );
+        let improved = Message::JobImproved {
+            from: 3,
+            job: job_id(7, 3),
+            length: 99,
+            order: (0..12).collect(),
+        };
+        assert_eq!(improved.from(), 3);
+        assert_eq!(improved.wire_size(), 1 + 8 + 8 + 8 + 4 + 4 * 12);
+        let done = Message::JobDone {
+            from: 3,
+            job: 1,
+            reason: 2,
+            length: 99,
+            order: (0..12).collect(),
+        };
+        assert_eq!(done.from(), 3);
+        // JobDone = JobImproved + the reason byte.
+        assert_eq!(done.wire_size(), improved.wire_size() + 1);
+        let cancel = Message::JobCancel {
+            from: 0,
+            job: 1,
+            reason: 3,
+        };
+        assert_eq!(cancel.from(), 0);
+        assert_eq!(cancel.wire_size(), 18);
+    }
+
+    #[test]
+    fn job_id_recovers_client() {
+        let id = job_id(9, 41);
+        assert_eq!(id >> 32, 9);
+        assert_eq!(id & 0xffff_ffff, 41);
+        assert_ne!(job_id(9, 41), job_id(41, 9));
     }
 
     #[test]

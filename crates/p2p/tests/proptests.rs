@@ -75,6 +75,81 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }
         ),
         arb_telemetry(),
+        arb_job_message(),
+    ]
+}
+
+/// Generators for the job-service frames (tags 12–16). Enum-like
+/// fields stay in their wire-legal ranges (`payload_kind` ∈ {1, 2},
+/// reason ≤ 3) — the codec rejects everything else, which the
+/// dedicated rejection tests below pin.
+fn arb_job_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (
+            (any::<u16>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<i64>(), 1u8..=2),
+            prop::collection::vec(any::<u8>(), 0..512),
+            prop::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(
+                |(
+                    (from, job, client, seed),
+                    (kicks, deadline_ms, target, payload_kind),
+                    payload,
+                    checkpoint,
+                )| Message::JobSubmit {
+                    from: from as usize,
+                    job,
+                    client,
+                    seed,
+                    kicks,
+                    deadline_ms,
+                    target,
+                    payload_kind,
+                    payload,
+                    checkpoint,
+                }
+            ),
+        (any::<u16>(), any::<u64>(), any::<u64>()).prop_map(|(from, job, worker)| {
+            Message::JobAccept {
+                from: from as usize,
+                job,
+                worker,
+            }
+        }),
+        (
+            any::<u16>(),
+            any::<u64>(),
+            any::<i64>(),
+            prop::collection::vec(any::<u32>(), 0..500)
+        )
+            .prop_map(|(from, job, length, order)| Message::JobImproved {
+                from: from as usize,
+                job,
+                length,
+                order,
+            }),
+        (
+            any::<u16>(),
+            any::<u64>(),
+            0u8..=3,
+            any::<i64>(),
+            prop::collection::vec(any::<u32>(), 0..500)
+        )
+            .prop_map(|(from, job, reason, length, order)| Message::JobDone {
+                from: from as usize,
+                job,
+                reason,
+                length,
+                order,
+            }),
+        (any::<u16>(), any::<u64>(), 0u8..=3).prop_map(|(from, job, reason)| {
+            Message::JobCancel {
+                from: from as usize,
+                job,
+                reason,
+            }
+        }),
     ]
 }
 
@@ -242,6 +317,49 @@ proptest! {
         match decode(&payload[..keep]) {
             Ok(back) => prop_assert_eq!(back, msg),
             Err(_) => prop_assert!(keep < payload.len()),
+        }
+    }
+
+    /// Every job-service frame (tags 12–16) round-trips exactly — the
+    /// dedicated coverage the multi-tenant service leans on, matching
+    /// the tag-11 `ShardResult` discipline.
+    #[test]
+    fn job_frames_roundtrip(msg in arb_job_message()) {
+        let frame = encode(&msg);
+        let back = decode(&frame[4..]).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Every strict truncation of a job frame's payload is rejected:
+    /// all five frames demand exact consumption, so a cut anywhere —
+    /// mid-header, mid-payload, mid-checkpoint — errors cleanly.
+    #[test]
+    fn job_frames_reject_truncation(msg in arb_job_message(), cut in any::<u64>()) {
+        let frame = encode(&msg).to_vec();
+        let payload = &frame[4..];
+        let keep = (cut % payload.len() as u64) as usize;
+        prop_assert!(decode(&payload[..keep]).is_err());
+    }
+
+    /// Corrupting the enum-like wire fields past their legal ranges is
+    /// rejected: `payload_kind` ∉ {1, 2} in `JobSubmit`, and a
+    /// `reason` above `MAX_JOB_REASON` in `JobDone`/`JobCancel`.
+    #[test]
+    fn job_frames_reject_bad_enum_bytes(msg in arb_job_message(), bump in 1u8..=200) {
+        let mut payload = encode(&msg).to_vec().split_off(4);
+        // Offset of the validated byte within the decoded payload:
+        // JobSubmit carries payload_kind after tag + 7 fixed u64/i64
+        // fields; JobDone/JobCancel carry reason after tag + 2.
+        let at = match msg {
+            Message::JobSubmit { .. } => Some(1 + 7 * 8),
+            Message::JobDone { .. } | Message::JobCancel { .. } => Some(1 + 2 * 8),
+            _ => None,
+        };
+        if let Some(at) = at {
+            // Push the byte out of range (kind > 2, reason > 3; 200+
+            // headroom keeps the addition from wrapping back legal).
+            payload[at] = payload[at].saturating_add(3).saturating_add(bump);
+            prop_assert!(decode(&payload).is_err());
         }
     }
 }
